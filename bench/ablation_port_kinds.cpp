@@ -1,0 +1,57 @@
+// Ablation of the §5 observation that "the latency through a switch
+// depends on the type of traversed ports": the Fig. 8 methodology had to
+// build both measurement paths over the same port-kind multiset. This
+// bench quantifies the effect by timing the same 2-switch path with every
+// LAN/SAN combination of host links.
+#include <cstdio>
+
+#include "itb/core/cluster.hpp"
+#include "itb/workload/pingpong.hpp"
+
+namespace {
+
+using namespace itb;
+
+double half_rtt_us(topo::PortKind src_kind, topo::PortKind dst_kind,
+                   topo::PortKind trunk_kind, std::size_t size) {
+  topo::Topology topo;
+  topo.add_switch(8);
+  topo.add_switch(8);
+  topo.add_host();
+  topo.add_host();
+  topo.connect_switches(0, 0, 1, 0, trunk_kind);
+  topo.attach_host(0, 0, 1, src_kind);
+  topo.attach_host(1, 1, 1, dst_kind);
+
+  core::ClusterConfig cfg;
+  cfg.topology = std::move(topo);
+  core::Cluster cluster(std::move(cfg));
+  auto row = workload::run_pingpong(cluster.queue(), cluster.port(0),
+                                    cluster.port(1), size, 20);
+  return row.half_rtt_ns / 1000.0;
+}
+
+const char* name(topo::PortKind k) { return topo::to_string(k); }
+
+}  // namespace
+
+int main() {
+  using topo::PortKind;
+  const std::size_t size = 256;
+
+  std::printf("Ablation: switch latency by traversed port kinds\n");
+  std::printf("(2-switch path, 256 B ping-pong, LAN ports re-time the "
+              "signal)\n\n");
+  std::printf("%8s %8s %8s %14s\n", "src", "trunk", "dst", "half-RTT(us)");
+  for (auto src : {PortKind::kSan, PortKind::kLan})
+    for (auto trunk : {PortKind::kSan, PortKind::kLan})
+      for (auto dst : {PortKind::kSan, PortKind::kLan}) {
+        std::printf("%8s %8s %8s %14.3f\n", name(src), name(trunk), name(dst),
+                    half_rtt_us(src, trunk, dst, size));
+      }
+  std::printf("\nEach LAN port on the path adds a fixed re-timing penalty "
+              "per traversal\n(default %lld ns); trunk LAN links are "
+              "crossed by two fall-throughs and pay twice.\n",
+              static_cast<long long>(net::NetTiming{}.lan_port_penalty_ns));
+  return 0;
+}

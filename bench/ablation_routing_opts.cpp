@@ -1,0 +1,90 @@
+// Ablation of the routing-level knobs the ITB papers explore:
+//   * spanning-tree root selection — a bad root lengthens up*/down* routes
+//     and sharpens root congestion; select_best_root() optimises it;
+//   * in-transit host selection — spreading ITB duty across a switch's
+//     hosts instead of always picking the lowest-index one.
+// Reported metrics are static route-table properties plus the ITB-duty
+// distribution (max packets forwarded by any single host's NIC).
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "itb/routing/table.hpp"
+#include "itb/sim/rng.hpp"
+#include "itb/topo/builders.hpp"
+
+namespace {
+
+using namespace itb;
+
+struct Metrics {
+  double avg_hops;
+  double minimal_fraction;
+  std::uint32_t peak_channel;
+  std::size_t max_itb_duty;  // routes forwarded by the busiest ITB host
+};
+
+Metrics evaluate(const topo::Topology& topo, std::uint16_t root,
+                 routing::ItbHostSelection selection) {
+  routing::UpDown ud(topo, root);
+  routing::Router router(ud, selection);
+  routing::RouteTable table(router, routing::Policy::kItb);
+  Metrics m;
+  m.avg_hops = table.average_trunk_hops();
+  m.minimal_fraction = table.minimal_fraction(router);
+  m.peak_channel = 0;
+  for (auto u : table.channel_usage(topo))
+    m.peak_channel = std::max(m.peak_channel, u);
+  std::map<std::uint16_t, std::size_t> duty;
+  for (std::uint16_t s = 0; s < table.host_count(); ++s)
+    for (std::uint16_t d = 0; d < table.host_count(); ++d) {
+      if (s == d) continue;
+      for (auto h : table.route(s, d).in_transit_hosts) ++duty[h];
+    }
+  m.max_itb_duty = 0;
+  for (auto& [h, n] : duty) m.max_itb_duty = std::max(m.max_itb_duty, n);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: root selection and in-transit host selection "
+              "(UD+ITB tables)\n\n");
+  std::printf("%6s %6s %10s | %9s %8s %9s %9s\n", "seed", "root", "itb-host",
+              "avg hops", "minimal", "peak ch.", "max duty");
+
+  for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    sim::Rng rng(seed);
+    topo::IrregularSpec spec;
+    spec.switches = 16;
+    spec.hosts_per_switch = 4;
+    auto topo = topo::make_random_irregular(spec, rng);
+    const auto best = routing::select_best_root(topo);
+
+    struct Case {
+      const char* root_name;
+      std::uint16_t root;
+      const char* sel_name;
+      routing::ItbHostSelection sel;
+    };
+    const Case cases[] = {
+        {"0", 0, "lowest", routing::ItbHostSelection::kLowestIndex},
+        {"best", best, "lowest", routing::ItbHostSelection::kLowestIndex},
+        {"best", best, "spread", routing::ItbHostSelection::kSpread},
+    };
+    for (const auto& c : cases) {
+      auto m = evaluate(topo, c.root, c.sel);
+      std::printf("%6llu %6s %10s | %9.3f %8.3f %9u %9zu\n",
+                  static_cast<unsigned long long>(seed), c.root_name,
+                  c.sel_name, m.avg_hops, m.minimal_fraction, m.peak_channel,
+                  m.max_itb_duty);
+    }
+    std::printf("   (best root for seed %llu is switch %u)\n",
+                static_cast<unsigned long long>(seed), best);
+  }
+  std::printf("\nExpected: the optimised root shortens routes and lowers the "
+              "channel peak;\nspread selection cuts the busiest ITB host's "
+              "duty without touching hops.\n");
+  return 0;
+}

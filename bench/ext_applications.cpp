@@ -1,0 +1,84 @@
+// Extension experiment (paper §6 future work): impact of ITBs on the
+// execution time of distributed applications.
+//
+// Three communication skeletons run to completion on a 32-switch irregular
+// COW under both routing policies; the reported metric is wall-clock
+// execution time of the kernel (simulated), not network throughput.
+#include <cstdio>
+#include <memory>
+
+#include "itb/core/cluster.hpp"
+#include "itb/workload/apps.hpp"
+
+namespace {
+
+using namespace itb;
+
+std::unique_ptr<core::Cluster> make_cluster(routing::Policy policy,
+                                            std::uint64_t seed) {
+  sim::Rng rng(seed);
+  topo::IrregularSpec spec;
+  spec.switches = 32;
+  spec.hosts_per_switch = 4;
+  core::ClusterConfig cfg;
+  cfg.topology = topo::make_random_irregular(spec, rng);
+  cfg.policy = policy;
+  // Loaded-network MCP (§4 buffer pool) — collectives burst hard.
+  cfg.mcp_options.recv_buffers = 512;  // 8 MB SRAM at 2 KB packets (paper: overflow "very unusual")
+  cfg.itb_selection = routing::ItbHostSelection::kSpread;
+  cfg.mcp_options.drop_when_full = true;
+  cfg.gm_config.send_tokens = 64;
+  cfg.gm_config.window = 32;
+  cfg.gm_config.retransmit_timeout = 50 * sim::kMs;  // patient: ack RTT is large under bursts
+  return std::make_unique<core::Cluster>(std::move(cfg));
+}
+
+void report(const char* kernel, workload::AppResult ud,
+            workload::AppResult itb) {
+  std::printf("%-14s | %12.1f | %12.1f | %6.2fx  (%llu msgs, %.1f MB)\n",
+              kernel, static_cast<double>(ud.makespan) / 1000.0,
+              static_cast<double>(itb.makespan) / 1000.0,
+              static_cast<double>(ud.makespan) /
+                  static_cast<double>(itb.makespan),
+              static_cast<unsigned long long>(ud.messages),
+              static_cast<double>(ud.bytes) / 1e6);
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t seed = 1977;
+
+  std::printf("Extension: distributed-application kernels, 32-switch "
+              "irregular COW, 128 hosts\n");
+  std::printf("(execution time in us; speedup = UD time / ITB time)\n\n");
+  std::printf("%-14s | %12s | %12s | %s\n", "kernel", "UD (us)", "UD+ITB (us)",
+              "speedup");
+
+  {
+    auto ud = make_cluster(routing::Policy::kUpDown, seed);
+    auto itb = make_cluster(routing::Policy::kItb, seed);
+    report("all-to-all",
+           workload::run_all_to_all(ud->queue(), ud->ports(), 2048, 1),
+           workload::run_all_to_all(itb->queue(), itb->ports(), 2048, 1));
+  }
+  {
+    auto ud = make_cluster(routing::Policy::kUpDown, seed);
+    auto itb = make_cluster(routing::Policy::kItb, seed);
+    report("ring exchange",
+           workload::run_ring_exchange(ud->queue(), ud->ports(), 4096, 8),
+           workload::run_ring_exchange(itb->queue(), itb->ports(), 4096, 8));
+  }
+  {
+    auto ud = make_cluster(routing::Policy::kUpDown, seed);
+    auto itb = make_cluster(routing::Policy::kItb, seed);
+    report("master/worker",
+           workload::run_master_worker(ud->queue(), ud->ports(), 2048, 256, 4),
+           workload::run_master_worker(itb->queue(), itb->ports(), 2048, 256, 4));
+  }
+
+  std::printf("\nExpected: the bursty all-to-all gains most (root "
+              "decongestion); the ring is\nlatency-bound and nearly "
+              "unaffected; master/worker sits in between.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Where do the microseconds go? A stage-by-stage decomposition of one GM
+// message's latency and of the per-ITB forwarding cost, computed from the
+// same timing constants the simulator bills — useful when calibrating the
+// model against other hardware generations.
+//
+//   $ ./latency_breakdown [payload_bytes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "itb/core/experiments.hpp"
+#include "itb/gm/header.hpp"
+#include "itb/workload/pingpong.hpp"
+
+int main(int argc, char** argv) {
+  using namespace itb;
+  const std::size_t payload = argc > 1
+                                  ? std::strtoull(argv[1], nullptr, 10)
+                                  : 256;
+
+  const nic::LanaiTiming lt;
+  const net::NetTiming nt;
+  const host::PciTiming pt;
+  const gm::GmConfig gc;
+
+  const auto wire_bytes =
+      static_cast<std::int64_t>(payload + gm::GmHeader::kSize + 2 + 1 + 2);
+
+  std::printf("One-way cost model for a %zu B GM payload (%lld B on the "
+              "wire incl. GM header,\ntype, CRC and a 2-byte route):\n\n",
+              payload, static_cast<long long>(wire_bytes));
+  auto line = [](const char* what, sim::Duration ns) {
+    std::printf("  %-42s %8.3f us\n", what, static_cast<double>(ns) / 1000.0);
+  };
+  line("host gm_send() software", gc.host_send_overhead_ns);
+  line("MCP SDMA programming", lt.cycles(lt.sdma_process + lt.dispatch));
+  line("PCI DMA host->NIC", pt.transfer_time(wire_bytes));
+  line("MCP route stamp + send start",
+       lt.cycles(lt.send_process + lt.dispatch + lt.send_dma_start));
+  line("wire (full packet at 6.25 ns/B)", nt.byte_time(wire_bytes));
+  line("switch fall-through (per SAN hop)", nt.switch_fallthrough_ns);
+  line("MCP receive classification",
+       lt.cycles(lt.recv_process + lt.itb_recv_extra + lt.dispatch));
+  line("PCI DMA NIC->host", pt.transfer_time(wire_bytes));
+  line("MCP RDMA completion", lt.cycles(lt.rdma_complete + lt.dispatch));
+  line("host receive callback", gc.host_recv_overhead_ns);
+
+  std::printf("\nPer-ITB forwarding cost (Fig. 8's ~1.3 us):\n");
+  line("4 bytes on the wire (Early Recv trigger)", nt.byte_time(4));
+  line("Early Recv dispatch + type probe",
+       lt.cycles(lt.early_recv_check + lt.dispatch));
+  line("strip tag, program re-injection DMA", lt.cycles(lt.itb_program_send));
+  line("send DMA spin-up", lt.cycles(lt.send_dma_start));
+  line("extra host-link crossings (eject + re-inject)",
+       2 * (nt.link_latency_ns + nt.byte_time(1)));
+
+  // Cross-check against the measured Fig. 8 configuration.
+  auto ud = core::make_fig8_cluster(false);
+  auto itb = core::make_fig8_cluster(true);
+  auto a = workload::run_pingpong(ud->queue(), ud->port(core::kHost1),
+                                  ud->port(core::kHost2), payload, 10);
+  auto b = workload::run_pingpong(itb->queue(), itb->port(core::kHost1),
+                                  itb->port(core::kHost2), payload, 10);
+  std::printf("\nmeasured per-ITB overhead at this size: %.3f us\n",
+              2 * (b.half_rtt_ns - a.half_rtt_ns) / 1000.0);
+  return 0;
+}

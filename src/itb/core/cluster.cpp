@@ -1,0 +1,66 @@
+#include "itb/core/cluster.hpp"
+
+#include <stdexcept>
+
+namespace itb::core {
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  config_.topology.validate();
+  const auto hosts = config_.topology.host_count();
+
+  network_ = std::make_unique<net::Network>(config_.topology,
+                                            config_.net_timing, queue_, tracer_);
+  network_->set_fault_plan(config_.fault_plan);
+  for (std::uint16_t h = 0; h < hosts; ++h) {
+    pci_.push_back(std::make_unique<host::PciBus>(queue_, config_.pci_timing));
+    nics_.push_back(std::make_unique<nic::Nic>(
+        queue_, tracer_, *network_, *pci_.back(), h, config_.lanai_timing,
+        config_.mcp_options));
+  }
+
+  if (config_.manual_routes) {
+    const auto& routes = *config_.manual_routes;
+    if (routes.size() != hosts)
+      throw std::invalid_argument("manual_routes must cover every source");
+    for (std::uint16_t s = 0; s < hosts; ++s)
+      for (std::uint16_t d = 0; d < hosts; ++d)
+        if (s != d && !routes[s][d].empty())
+          nics_[s]->set_route(d, routes[s][d]);
+  } else {
+    // Run the mapper: discovery walk + route computation + table download.
+    auto result = mapper::run(config_.topology, config_.policy,
+                              config_.mapper_root_host, config_.itb_selection);
+    report_ = std::move(result.report);
+    table_ = std::move(result.table);
+    for (auto& nic : nics_) nic->load_routes(*table_);
+  }
+
+  // Host software stacks behind a per-type demux: GM claims GM and mapping
+  // packets, the IP driver claims kIp — the host-side mirror of the MCP's
+  // own type dispatch (§4).
+  for (std::uint16_t h = 0; h < hosts; ++h) {
+    gm_ports_.push_back(std::make_unique<gm::GmPort>(queue_, tracer_, *nics_[h],
+                                                     config_.gm_config));
+    muxes_.push_back(std::make_unique<nic::NicMux>(*nics_[h]));
+    muxes_.back()->route(packet::PacketType::kGm, gm_ports_.back().get());
+    muxes_.back()->route(packet::PacketType::kMapping, gm_ports_.back().get());
+    ip_stacks_.push_back(std::make_unique<ip::IpStack>(
+        queue_, *nics_[h], *muxes_.back(), ip::IpConfig{}));
+  }
+}
+
+bool Cluster::routes_deadlock_free() const {
+  if (!table_ || !report_) return true;  // manual routes: caller's business
+  routing::DependencyGraph graph(report_->discovered);
+  graph.add_table(*table_, report_->discovered);
+  return !graph.has_cycle();
+}
+
+std::vector<gm::GmPort*> Cluster::ports() {
+  std::vector<gm::GmPort*> out;
+  out.reserve(gm_ports_.size());
+  for (auto& p : gm_ports_) out.push_back(p.get());
+  return out;
+}
+
+}  // namespace itb::core

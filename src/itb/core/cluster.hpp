@@ -1,0 +1,103 @@
+// Cluster: the top-level assembly a user of this library works with.
+//
+// A Cluster owns one fully wired COW: topology, up*/down* orientation,
+// route tables (computed by the mapper), the wormhole network, one PCI bus
+// + NIC + GM port per host, and the shared event queue. It is the
+// public-API entry point used by the examples and every bench binary.
+//
+// Typical use:
+//   core::ClusterConfig cfg;
+//   cfg.topology = topo::make_fig1_network();
+//   cfg.policy = routing::Policy::kItb;
+//   core::Cluster cluster(cfg);
+//   cluster.port(0).send(5, message);
+//   cluster.run();
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "itb/gm/port.hpp"
+#include "itb/host/pci.hpp"
+#include "itb/ip/stack.hpp"
+#include "itb/mapper/mapper.hpp"
+#include "itb/nic/mux.hpp"
+#include "itb/net/network.hpp"
+#include "itb/nic/nic.hpp"
+#include "itb/routing/deadlock.hpp"
+#include "itb/sim/event_queue.hpp"
+#include "itb/sim/trace.hpp"
+#include "itb/topo/builders.hpp"
+
+namespace itb::core {
+
+struct ClusterConfig {
+  topo::Topology topology;
+  routing::Policy policy = routing::Policy::kUpDown;
+  net::NetTiming net_timing;
+  nic::LanaiTiming lanai_timing;
+  nic::McpOptions mcp_options;  // defaults to the ITB-capable MCP
+  host::PciTiming pci_timing;
+  gm::GmConfig gm_config;
+  /// Fault injection for reliability tests (defaults to a faithful wire).
+  net::FaultPlan fault_plan;
+  /// Host that runs the mapper.
+  std::uint16_t mapper_root_host = 0;
+  /// Which host on a switch takes in-transit duty (kSpread balances the
+  /// forwarding load across a switch's hosts).
+  routing::ItbHostSelection itb_selection =
+      routing::ItbHostSelection::kLowestIndex;
+  /// When set, skip the mapper and install these exact route segments on
+  /// every NIC instead (used by the Fig. 7/8 benches, which hand-build
+  /// their measurement paths). Indexed [src][dst].
+  std::optional<std::vector<std::vector<std::vector<packet::Route>>>>
+      manual_routes;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  std::size_t host_count() const { return gm_ports_.size(); }
+
+  sim::EventQueue& queue() { return queue_; }
+  sim::Tracer& tracer() { return tracer_; }
+  net::Network& network() { return *network_; }
+  gm::GmPort& port(std::uint16_t host) { return *gm_ports_.at(host); }
+  ip::IpStack& ip(std::uint16_t host) { return *ip_stacks_.at(host); }
+  nic::Nic& nic(std::uint16_t host) { return *nics_.at(host); }
+  const topo::Topology& topology() const { return config_.topology; }
+  const routing::RouteTable* route_table() const {
+    return table_ ? &*table_ : nullptr;
+  }
+  const mapper::DiscoveryReport* mapper_report() const {
+    return report_ ? &*report_ : nullptr;
+  }
+
+  /// Run until the event queue drains (or the horizon is reached).
+  void run(sim::Time until = INT64_MAX) { queue_.run(until); }
+
+  /// Assert the installed route set is deadlock-free (CDG acyclic).
+  bool routes_deadlock_free() const;
+
+  std::vector<gm::GmPort*> ports();
+
+ private:
+  ClusterConfig config_;
+  sim::EventQueue queue_;
+  sim::Tracer tracer_;
+  std::unique_ptr<net::Network> network_;
+  std::optional<mapper::DiscoveryReport> report_;
+  std::optional<routing::RouteTable> table_;
+  std::vector<std::unique_ptr<host::PciBus>> pci_;
+  std::vector<std::unique_ptr<nic::Nic>> nics_;
+  std::vector<std::unique_ptr<gm::GmPort>> gm_ports_;
+  std::vector<std::unique_ptr<nic::NicMux>> muxes_;
+  std::vector<std::unique_ptr<ip::IpStack>> ip_stacks_;
+};
+
+}  // namespace itb::core

@@ -1,0 +1,58 @@
+#include "itb/core/experiments.hpp"
+
+namespace itb::core {
+namespace {
+
+using Routes = std::vector<std::vector<std::vector<packet::Route>>>;
+
+/// Empty 3x3 manual-route matrix for the testbed.
+Routes empty_routes() { return Routes(3, std::vector<std::vector<packet::Route>>(3)); }
+
+/// Routes shared by every testbed experiment: the plain reverse path and
+/// the in-transit host's service paths (used by GM acks).
+void fill_common(Routes& r) {
+  r[kHost2][kHost1] = {{5, 0}};      // s1 -> s0 -> h0
+  r[kHost1][kInTransit] = {{4}};     // s0 -> h1
+  r[kInTransit][kHost1] = {{0}};     // s0 -> h0
+  r[kInTransit][kHost2] = {{5, 4}};  // s0 -> s1 -> h2
+  r[kHost2][kInTransit] = {{5, 4}};  // s1 -> s0 -> h1
+}
+
+std::unique_ptr<Cluster> make_testbed_cluster(Routes routes,
+                                              const nic::McpOptions& options,
+                                              const nic::LanaiTiming& lanai) {
+  ClusterConfig cfg;
+  cfg.topology = topo::make_paper_testbed();
+  cfg.mcp_options = options;
+  cfg.lanai_timing = lanai;
+  cfg.manual_routes = std::move(routes);
+  return std::make_unique<Cluster>(std::move(cfg));
+}
+
+}  // namespace
+
+std::unique_ptr<Cluster> make_fig7_cluster(bool modified_mcp) {
+  Routes r = empty_routes();
+  fill_common(r);
+  // 3 traversals forward (s0, s1, loop back into s1), 2 reverse: the
+  // paper's "packets traversing 2.5 switches".
+  r[kHost1][kHost2] = {{5, 7, 4}};
+  nic::McpOptions options;
+  options.itb_support = modified_mcp;
+  return make_testbed_cluster(std::move(r), options, {});
+}
+
+std::unique_ptr<Cluster> make_fig8_cluster(bool itb_path,
+                                           const nic::McpOptions& options,
+                                           const nic::LanaiTiming& lanai) {
+  Routes r = empty_routes();
+  fill_common(r);
+  if (itb_path) {
+    r[kHost1][kHost2] = {{5, 6, 4}, {6, 4}};  // ITB at h1; 5 traversals
+  } else {
+    r[kHost1][kHost2] = {{5, 7, 6, 6, 4}};    // loop in switch 2; 5 traversals
+  }
+  return make_testbed_cluster(std::move(r), options, lanai);
+}
+
+}  // namespace itb::core

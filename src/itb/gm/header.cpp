@@ -1,0 +1,64 @@
+#include "itb/gm/header.hpp"
+
+namespace itb::gm {
+namespace {
+
+void put16(packet::Bytes& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+void put32(packet::Bytes& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 24));
+  b.push_back(static_cast<std::uint8_t>(v >> 16));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+std::uint16_t get16(std::span<const std::uint8_t> b, std::size_t i) {
+  return static_cast<std::uint16_t>((b[i] << 8) | b[i + 1]);
+}
+std::uint32_t get32(std::span<const std::uint8_t> b, std::size_t i) {
+  return (static_cast<std::uint32_t>(b[i]) << 24) |
+         (static_cast<std::uint32_t>(b[i + 1]) << 16) |
+         (static_cast<std::uint32_t>(b[i + 2]) << 8) |
+         static_cast<std::uint32_t>(b[i + 3]);
+}
+
+}  // namespace
+
+packet::Bytes encode(const GmHeader& h, std::span<const std::uint8_t> data) {
+  packet::Bytes out;
+  out.reserve(GmHeader::kSize + data.size());
+  out.push_back(static_cast<std::uint8_t>(h.subtype));
+  put16(out, h.src_host);
+  put16(out, h.dst_host);
+  put32(out, h.seq);
+  put32(out, h.msg_id);
+  put32(out, h.frag_offset);
+  put32(out, h.msg_len);
+  put16(out, static_cast<std::uint16_t>(data.size()));
+  out.insert(out.end(), data.begin(), data.end());
+  return out;
+}
+
+std::optional<Decoded> decode(std::span<const std::uint8_t> payload) {
+  if (payload.size() < GmHeader::kSize) return std::nullopt;
+  Decoded d;
+  const auto st = payload[0];
+  if (st != static_cast<std::uint8_t>(Subtype::kData) &&
+      st != static_cast<std::uint8_t>(Subtype::kAck))
+    return std::nullopt;
+  d.header.subtype = static_cast<Subtype>(st);
+  d.header.src_host = get16(payload, 1);
+  d.header.dst_host = get16(payload, 3);
+  d.header.seq = get32(payload, 5);
+  d.header.msg_id = get32(payload, 9);
+  d.header.frag_offset = get32(payload, 13);
+  d.header.msg_len = get32(payload, 17);
+  d.header.frag_len = get16(payload, 21);
+  if (payload.size() != GmHeader::kSize + d.header.frag_len)
+    return std::nullopt;
+  d.data.assign(payload.begin() + GmHeader::kSize, payload.end());
+  return d;
+}
+
+}  // namespace itb::gm

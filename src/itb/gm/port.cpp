@@ -1,0 +1,193 @@
+#include "itb/gm/port.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace itb::gm {
+
+GmPort::GmPort(sim::EventQueue& queue, sim::Tracer& tracer, nic::Nic& nic,
+               const GmConfig& config)
+    : queue_(queue), tracer_(tracer), nic_(nic), config_(config) {
+  nic_.set_client(this);
+}
+
+bool GmPort::send(std::uint16_t dst, packet::Bytes message,
+                  SendCallback on_sent) {
+  if (tokens_in_use_ >= config_.send_tokens) return false;
+  if (message.empty()) throw std::invalid_argument("empty message");
+  ++tokens_in_use_;
+  ++stats_.messages_sent;
+
+  TxConn& conn = tx_[dst];
+  const std::uint32_t msg_id = next_msg_id_++;
+  const auto msg_len = static_cast<std::uint32_t>(message.size());
+
+  PendingMessage pm;
+  pm.on_sent = std::move(on_sent);
+  pm.first_seq = conn.next_seq;
+
+  // Fragment into MTU-sized packets, consecutive sequence numbers.
+  std::size_t offset = 0;
+  while (offset < message.size()) {
+    const std::size_t n = std::min(config_.mtu_payload, message.size() - offset);
+    Fragment f;
+    f.header.subtype = Subtype::kData;
+    f.header.src_host = nic_.host();
+    f.header.dst_host = dst;
+    f.header.seq = conn.next_seq++;
+    f.header.msg_id = msg_id;
+    f.header.frag_offset = static_cast<std::uint32_t>(offset);
+    f.header.msg_len = msg_len;
+    f.data.assign(message.begin() + static_cast<std::ptrdiff_t>(offset),
+                  message.begin() + static_cast<std::ptrdiff_t>(offset + n));
+    conn.unsent.push_back(std::move(f));
+    offset += n;
+  }
+  pm.last_seq = conn.next_seq - 1;
+  conn.messages.push_back(std::move(pm));
+
+  // gm_send() host-side cost, then the NIC sees the descriptors.
+  queue_.schedule_in(config_.host_send_overhead_ns, [this, dst] { pump(dst); });
+  return true;
+}
+
+void GmPort::pump(std::uint16_t dst) {
+  TxConn& conn = tx_[dst];
+  while (!conn.unsent.empty() &&
+         conn.unacked.size() < static_cast<std::size_t>(config_.window)) {
+    Fragment f = std::move(conn.unsent.front());
+    conn.unsent.pop_front();
+    post_fragment(f);
+    conn.unacked.push_back(std::move(f));
+  }
+  if (!conn.unacked.empty()) arm_timer(dst);
+}
+
+void GmPort::post_fragment(const Fragment& f) {
+  ++stats_.packets_data;
+  nic_.post_send(f.header.dst_host, encode(f.header, f.data));
+}
+
+void GmPort::send_ack(std::uint16_t dst, std::uint32_t cum_seq) {
+  GmHeader h;
+  h.subtype = Subtype::kAck;
+  h.src_host = nic_.host();
+  h.dst_host = dst;
+  h.seq = cum_seq;
+  ++stats_.packets_ack;
+  nic_.post_send(dst, encode(h, {}));
+}
+
+void GmPort::arm_timer(std::uint16_t dst) {
+  TxConn& conn = tx_[dst];
+  if (conn.timer_armed) queue_.cancel(conn.timer);
+  const int shift = std::min(conn.backoff, 6);
+  conn.timer = queue_.schedule_in(config_.retransmit_timeout << shift,
+                                  [this, dst] { on_timeout(dst); });
+  conn.timer_armed = true;
+}
+
+void GmPort::on_timeout(std::uint16_t dst) {
+  TxConn& conn = tx_[dst];
+  conn.timer_armed = false;
+  if (conn.unacked.empty()) return;
+  // Go-back-N: re-post everything outstanding.
+  tracer_.emit(queue_.now(), sim::TraceCategory::kGm, [&] {
+    return "h" + std::to_string(nic_.host()) + " retransmit " +
+           std::to_string(conn.unacked.size()) + " pkts to h" +
+           std::to_string(dst);
+  });
+  for (const Fragment& f : conn.unacked) {
+    ++stats_.retransmissions;
+    post_fragment(f);
+  }
+  ++conn.backoff;
+  arm_timer(dst);
+}
+
+void GmPort::on_message(sim::Time t, packet::PacketType, packet::Bytes payload) {
+  auto decoded = decode(payload);
+  if (!decoded) return;  // corrupted: dropped, the sender will retransmit
+  if (decoded->header.dst_host != nic_.host()) return;  // misrouted
+  if (decoded->header.subtype == Subtype::kAck) {
+    handle_ack(decoded->header);
+  } else {
+    handle_data(t, decoded->header, std::move(decoded->data));
+  }
+}
+
+void GmPort::handle_ack(const GmHeader& h) {
+  auto it = tx_.find(h.src_host);
+  if (it == tx_.end()) return;
+  TxConn& conn = it->second;
+  if (h.seq <= conn.highest_acked) return;  // stale
+  conn.highest_acked = h.seq;
+  conn.backoff = 0;  // progress: restore the base timeout
+  while (!conn.unacked.empty() && conn.unacked.front().header.seq <= h.seq)
+    conn.unacked.pop_front();
+
+  // Complete messages whose last fragment is now acknowledged.
+  while (!conn.messages.empty() && conn.messages.front().last_seq <= h.seq) {
+    PendingMessage pm = std::move(conn.messages.front());
+    conn.messages.pop_front();
+    --tokens_in_use_;
+    if (pm.on_sent) pm.on_sent(queue_.now());
+  }
+
+  if (conn.unacked.empty() && conn.timer_armed) {
+    queue_.cancel(conn.timer);
+    conn.timer_armed = false;
+  }
+  pump(h.src_host);
+}
+
+void GmPort::handle_data(sim::Time, const GmHeader& h, packet::Bytes data) {
+  RxConn& conn = rx_[h.src_host];
+  if (h.seq < conn.expected_seq) {
+    // Duplicate of something already delivered: re-ack so the sender
+    // advances past a lost acknowledgement.
+    ++stats_.duplicates;
+    send_ack(h.src_host, conn.expected_seq - 1);
+    return;
+  }
+  if (h.seq > conn.expected_seq) {
+    // Gap: go-back-N receivers drop out-of-order packets and re-ack the
+    // last in-order one.
+    ++stats_.out_of_order;
+    send_ack(h.src_host, conn.expected_seq - 1);
+    return;
+  }
+  conn.expected_seq = h.seq + 1;
+  send_ack(h.src_host, h.seq);
+
+  // Reassembly. Ordered delivery means fragments of a message arrive
+  // consecutively; a fresh msg_id starts a new buffer.
+  if (conn.buffer.empty() || conn.msg_id != h.msg_id) {
+    conn.msg_id = h.msg_id;
+    conn.buffer.assign(h.msg_len, 0);
+    conn.received_bytes = 0;
+  }
+  std::copy(data.begin(), data.end(),
+            conn.buffer.begin() + h.frag_offset);
+  conn.received_bytes += data.size();
+  if (conn.received_bytes < h.msg_len) return;
+
+  packet::Bytes message = std::move(conn.buffer);
+  conn.buffer.clear();
+  conn.received_bytes = 0;
+  ++stats_.messages_delivered;
+  const std::uint16_t src = h.src_host;
+  // Host-side callback dispatch cost.
+  queue_.schedule_in(config_.host_recv_overhead_ns,
+                     [this, src, message = std::move(message)]() mutable {
+                       if (handler_) handler_(queue_.now(), src,
+                                              std::move(message));
+                     });
+}
+
+void GmPort::on_send_complete(sim::Time, std::uint64_t) {
+  // NIC-level completion: the SRAM buffer is free. GM tokens return on
+  // acknowledgement instead (reliable semantics), so nothing to do.
+}
+
+}  // namespace itb::gm

@@ -1,0 +1,26 @@
+#include "itb/host/pci.hpp"
+
+namespace itb::host {
+
+void PciBus::dma(std::int64_t bytes, std::function<void()> done) {
+  pending_.push_back(Pending{bytes, std::move(done)});
+  if (!busy_) start_next();
+}
+
+void PciBus::start_next() {
+  if (pending_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Pending job = std::move(pending_.front());
+  pending_.pop_front();
+  queue_.schedule_in(timing_.transfer_time(job.bytes),
+                     [this, done = std::move(job.done)] {
+                       ++completed_;
+                       done();
+                       start_next();
+                     });
+}
+
+}  // namespace itb::host

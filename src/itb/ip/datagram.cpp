@@ -1,0 +1,87 @@
+#include "itb/ip/datagram.hpp"
+
+namespace itb::ip {
+namespace {
+
+constexpr std::uint32_t kNetworkBase = 0x0A000000;  // 10.0.0.0
+
+void put16(packet::Bytes& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+void put32(packet::Bytes& b, std::uint32_t v) {
+  put16(b, static_cast<std::uint16_t>(v >> 16));
+  put16(b, static_cast<std::uint16_t>(v));
+}
+std::uint16_t get16(std::span<const std::uint8_t> b, std::size_t i) {
+  return static_cast<std::uint16_t>((b[i] << 8) | b[i + 1]);
+}
+std::uint32_t get32(std::span<const std::uint8_t> b, std::size_t i) {
+  return (static_cast<std::uint32_t>(get16(b, i)) << 16) | get16(b, i + 2);
+}
+
+}  // namespace
+
+std::uint32_t address_of(std::uint16_t host) {
+  return kNetworkBase + 1u + host;  // 10.0.x.y, skipping the network address
+}
+
+std::optional<std::uint16_t> host_of(std::uint32_t addr) {
+  if (addr <= kNetworkBase || addr > kNetworkBase + 0x10000) return std::nullopt;
+  return static_cast<std::uint16_t>(addr - kNetworkBase - 1);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i] << 8);
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+packet::Bytes encode(const IpHeader& header,
+                     std::span<const std::uint8_t> payload) {
+  packet::Bytes out;
+  out.reserve(IpHeader::kSize + payload.size());
+  out.push_back(header.version);
+  out.push_back(header.ttl);
+  out.push_back(header.protocol);
+  out.push_back(header.more_fragments ? 1 : 0);
+  put16(out, static_cast<std::uint16_t>(IpHeader::kSize + payload.size()));
+  put16(out, header.ident);
+  put16(out, header.fragment_offset);
+  put32(out, header.src_addr);
+  put32(out, header.dst_addr);
+  put16(out, 0);  // checksum placeholder
+  const auto checksum = internet_checksum(std::span(out).first(IpHeader::kSize));
+  out[IpHeader::kSize - 2] = static_cast<std::uint8_t>(checksum >> 8);
+  out[IpHeader::kSize - 1] = static_cast<std::uint8_t>(checksum);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<Decoded> decode(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < IpHeader::kSize) return std::nullopt;
+  if (bytes[0] != 4) return std::nullopt;
+  // A header with a valid checksum sums (with the stored checksum included)
+  // to zero; internet_checksum then returns 0.
+  if (internet_checksum(bytes.first(IpHeader::kSize)) != 0) return std::nullopt;
+
+  Decoded d;
+  d.header.version = bytes[0];
+  d.header.ttl = bytes[1];
+  d.header.protocol = bytes[2];
+  d.header.more_fragments = bytes[3] != 0;
+  d.header.total_length = get16(bytes, 4);
+  d.header.ident = get16(bytes, 6);
+  d.header.fragment_offset = get16(bytes, 8);
+  d.header.src_addr = get32(bytes, 10);
+  d.header.dst_addr = get32(bytes, 14);
+  if (d.header.total_length != bytes.size()) return std::nullopt;
+  d.payload.assign(bytes.begin() + IpHeader::kSize, bytes.end());
+  return d;
+}
+
+}  // namespace itb::ip

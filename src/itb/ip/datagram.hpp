@@ -1,0 +1,52 @@
+// IP datagram encoding for IP-over-Myrinet.
+//
+// GM carries TCP/IP traffic by wrapping IP datagrams in Myrinet packets of
+// type kIp (§4 lists "a packet with an IP packet in its payload" among the
+// types a NIC classifies). We implement an IPv4-style header — enough of it
+// for fragmentation, reassembly and integrity — with host ids mapped onto a
+// 10.0.0.0/24-style address space.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "itb/packet/format.hpp"
+
+namespace itb::ip {
+
+/// IPv4-like header, fixed 20 bytes (no options).
+struct IpHeader {
+  std::uint8_t version = 4;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 17;     // UDP-like by default
+  std::uint16_t total_length = 0; // header + payload bytes in THIS fragment
+  std::uint16_t ident = 0;        // shared by all fragments of a datagram
+  bool more_fragments = false;
+  std::uint16_t fragment_offset = 0;  // bytes (we do not impose /8 units)
+  std::uint32_t src_addr = 0;
+  std::uint32_t dst_addr = 0;
+
+  static constexpr std::size_t kSize = 20;
+};
+
+/// Map a GM host id into the cluster's address space and back.
+std::uint32_t address_of(std::uint16_t host);
+std::optional<std::uint16_t> host_of(std::uint32_t addr);
+
+/// RFC-791-style 16-bit ones'-complement checksum over `data`.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Serialize header + payload; the header checksum is computed over the
+/// header bytes with the checksum field zeroed.
+packet::Bytes encode(const IpHeader& header,
+                     std::span<const std::uint8_t> payload);
+
+/// Parse an encoded datagram. Returns nullopt on short input, bad version
+/// or checksum mismatch.
+struct Decoded {
+  IpHeader header;
+  packet::Bytes payload;
+};
+std::optional<Decoded> decode(std::span<const std::uint8_t> bytes);
+
+}  // namespace itb::ip

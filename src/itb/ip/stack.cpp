@@ -1,0 +1,87 @@
+#include "itb/ip/stack.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace itb::ip {
+
+IpStack::IpStack(sim::EventQueue& queue, nic::Nic& nic, nic::NicMux& mux,
+                 const IpConfig& config)
+    : queue_(queue), nic_(nic), config_(config) {
+  mux.route(packet::PacketType::kIp, this);
+}
+
+void IpStack::send(std::uint16_t dst_host, packet::Bytes payload,
+                   std::uint8_t protocol) {
+  if (payload.empty()) throw std::invalid_argument("empty datagram");
+  const std::size_t mtu_payload = nic::Nic::kMtu - IpHeader::kSize;
+  const std::uint16_t ident = next_ident_++;
+  ++stats_.datagrams_sent;
+
+  std::size_t offset = 0;
+  while (offset < payload.size()) {
+    const std::size_t n = std::min(mtu_payload, payload.size() - offset);
+    IpHeader h;
+    h.ttl = config_.ttl;
+    h.protocol = protocol;
+    h.ident = ident;
+    h.fragment_offset = static_cast<std::uint16_t>(offset);
+    h.more_fragments = offset + n < payload.size();
+    h.src_addr = address_of(nic_.host());
+    h.dst_addr = address_of(dst_host);
+    auto frag = encode(
+        h, std::span(payload).subspan(offset, n));
+    nic_.post_send(dst_host, std::move(frag), packet::PacketType::kIp);
+    ++stats_.fragments_sent;
+    offset += n;
+  }
+}
+
+void IpStack::on_message(sim::Time t, packet::PacketType type,
+                         packet::Bytes payload) {
+  if (type != packet::PacketType::kIp) return;
+  sweep(t);
+  auto d = decode(payload);
+  if (!d) {
+    ++stats_.header_errors;
+    return;
+  }
+  ++stats_.fragments_received;
+  const auto src = host_of(d->header.src_addr);
+  if (!src) {
+    ++stats_.header_errors;
+    return;
+  }
+
+  const auto key = std::pair(*src, d->header.ident);
+  Reassembly& r = partial_[key];
+  if (r.data.empty() && r.received == 0)
+    r.deadline = t + config_.reassembly_timeout;
+  const std::size_t end = d->header.fragment_offset + d->payload.size();
+  if (r.data.size() < end) r.data.resize(end);
+  std::copy(d->payload.begin(), d->payload.end(),
+            r.data.begin() + d->header.fragment_offset);
+  r.received += d->payload.size();
+  if (!d->header.more_fragments) r.total = end;
+
+  if (r.total == 0 || r.received < r.total) return;
+  packet::Bytes datagram = std::move(r.data);
+  datagram.resize(r.total);
+  const auto protocol = d->header.protocol;
+  partial_.erase(key);
+  ++stats_.datagrams_delivered;
+  if (handler_) handler_(t, *src, protocol, std::move(datagram));
+}
+
+void IpStack::sweep(sim::Time now) {
+  for (auto it = partial_.begin(); it != partial_.end();) {
+    if (it->second.deadline <= now) {
+      ++stats_.reassembly_timeouts;
+      it = partial_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace itb::ip

@@ -1,0 +1,76 @@
+// Best-effort IP service over a Myrinet NIC.
+//
+// The IP driver fragments datagrams to the NIC MTU, stamps kIp Myrinet
+// packets, and reassembles on receive with a timeout — classic best-effort
+// semantics: unlike GM there are no acknowledgements or retransmissions, so
+// drops (buffer-pool overflow, fault injection) surface as lost datagrams
+// and reassembly timeouts, exactly what TCP above it would have to handle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "itb/ip/datagram.hpp"
+#include "itb/nic/mux.hpp"
+
+namespace itb::ip {
+
+struct IpConfig {
+  /// Reassembly give-up time for incomplete datagrams.
+  sim::Duration reassembly_timeout = 5 * sim::kMs;
+  std::uint8_t ttl = 64;
+};
+
+struct IpStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t fragments_sent = 0;
+  std::uint64_t datagrams_delivered = 0;
+  std::uint64_t fragments_received = 0;
+  std::uint64_t header_errors = 0;       // bad version/checksum/length
+  std::uint64_t reassembly_timeouts = 0; // incomplete datagrams dropped
+};
+
+class IpStack final : public nic::NicClient {
+ public:
+  using Handler = std::function<void(sim::Time, std::uint16_t src_host,
+                                     std::uint8_t protocol, packet::Bytes)>;
+
+  /// Registers with `mux` for kIp packets.
+  IpStack(sim::EventQueue& queue, nic::Nic& nic, nic::NicMux& mux,
+          const IpConfig& config = {});
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Send a datagram (fragmenting as needed). Best effort: no completion
+  /// signal, no retransmission.
+  void send(std::uint16_t dst_host, packet::Bytes payload,
+            std::uint8_t protocol = 17);
+
+  const IpStats& stats() const { return stats_; }
+
+  void on_message(sim::Time t, packet::PacketType type,
+                  packet::Bytes payload) override;
+  void on_send_complete(sim::Time, std::uint64_t) override {}
+
+ private:
+  struct Reassembly {
+    packet::Bytes data;        // grows as fragments land
+    std::size_t received = 0;  // payload bytes accumulated
+    std::size_t total = 0;     // 0 until the final fragment arrives
+    sim::Time deadline = 0;
+  };
+
+  void sweep(sim::Time now);
+
+  sim::EventQueue& queue_;
+  nic::Nic& nic_;
+  IpConfig config_;
+  IpStats stats_;
+  Handler handler_;
+  std::uint16_t next_ident_ = 1;
+  /// Keyed by (src_host, ident).
+  std::map<std::pair<std::uint16_t, std::uint16_t>, Reassembly> partial_;
+};
+
+}  // namespace itb::ip

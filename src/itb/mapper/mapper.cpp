@@ -1,0 +1,116 @@
+#include "itb/mapper/mapper.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "itb/routing/updown.hpp"
+
+namespace itb::mapper {
+namespace {
+
+struct WalkState {
+  const topo::Topology& fabric;
+  std::vector<std::uint16_t> disc_of_true;  // true switch -> disc index
+  std::vector<std::uint16_t> true_of_disc;  // disc index -> true switch
+  std::set<topo::LinkId> seen_links;
+  std::uint64_t probes = 0;
+
+  struct LinkRec {
+    topo::Endpoint a;  // disc-indexed endpoints
+    topo::Endpoint b;
+    topo::PortKind kind;
+  };
+  std::vector<LinkRec> links;
+
+  struct HostRec {
+    std::uint16_t host;      // true GM host id (from the probe reply)
+    std::uint16_t disc_sw;
+    std::uint8_t port;
+    topo::PortKind kind;
+  };
+  std::vector<HostRec> hosts;
+
+  explicit WalkState(const topo::Topology& f)
+      : fabric(f), disc_of_true(f.switch_count(), 0xFFFF) {}
+
+  std::uint16_t admit(std::uint16_t true_sw) {
+    if (disc_of_true[true_sw] != 0xFFFF) return disc_of_true[true_sw];
+    const auto disc = static_cast<std::uint16_t>(true_of_disc.size());
+    disc_of_true[true_sw] = disc;
+    true_of_disc.push_back(true_sw);
+    return disc;
+  }
+
+  void walk(std::uint16_t true_sw) {
+    const auto disc = disc_of_true[true_sw];
+    const auto ports = fabric.switch_spec(true_sw).ports;
+    for (std::uint8_t p = 0; p < ports; ++p) {
+      ++probes;  // one probe out of every port, answered or not
+      auto peer = fabric.peer(topo::switch_id(true_sw), p);
+      if (!peer) continue;  // silence: nothing plugged in
+      const auto lid = *fabric.link_at(topo::switch_id(true_sw), p);
+      if (seen_links.contains(lid)) continue;  // scanned from the far side
+      seen_links.insert(lid);
+      const auto kind = fabric.link(lid).kind;
+
+      if (peer->node.kind == topo::NodeKind::kHost) {
+        hosts.push_back(HostRec{peer->node.index, disc, p, kind});
+        continue;
+      }
+      const bool is_new = disc_of_true[peer->node.index] == 0xFFFF;
+      const auto peer_disc = admit(peer->node.index);
+      links.push_back(LinkRec{{topo::switch_id(disc), p},
+                              {topo::switch_id(peer_disc), peer->port},
+                              kind});
+      if (is_new) walk(peer->node.index);
+    }
+  }
+};
+
+}  // namespace
+
+DiscoveryReport discover(const topo::Topology& fabric,
+                         std::uint16_t root_host) {
+  if (root_host >= fabric.host_count())
+    throw std::invalid_argument("root host out of range");
+  WalkState state(fabric);
+  const auto start = fabric.host_uplink(root_host).node.index;
+  state.admit(start);
+  state.walk(start);
+
+  DiscoveryReport report;
+  report.probes_sent = state.probes;
+  report.switch_of = state.true_of_disc;
+
+  // Rebuild the fabric from the walk records: switches in discovery order,
+  // hosts at their true GM ids.
+  for (std::uint16_t d = 0; d < state.true_of_disc.size(); ++d) {
+    report.discovered.add_switch(
+        fabric.switch_spec(state.true_of_disc[d]).ports,
+        "disc" + std::to_string(d));
+  }
+  for (std::uint16_t h = 0; h < fabric.host_count(); ++h)
+    report.discovered.add_host(fabric.host_spec(h).name);
+  for (const auto& l : state.links)
+    report.discovered.connect(l.a, l.b, l.kind);
+  for (const auto& h : state.hosts)
+    report.discovered.attach_host(h.host, h.disc_sw, h.port, h.kind);
+
+  if (state.hosts.size() != fabric.host_count())
+    throw std::logic_error("mapper: fabric has unreachable hosts");
+  return report;
+}
+
+MapResult run(const topo::Topology& fabric, routing::Policy policy,
+              std::uint16_t root_host, routing::ItbHostSelection selection) {
+  DiscoveryReport report = discover(fabric, root_host);
+  // The mapper roots the spanning tree at its first discovered switch —
+  // deterministic from its own point of view.
+  routing::UpDown updown(report.discovered, 0);
+  routing::Router router(updown, selection);
+  routing::RouteTable table(router, policy);
+  return MapResult{std::move(report), std::move(table)};
+}
+
+}  // namespace itb::mapper

@@ -1,0 +1,59 @@
+// The Myrinet mapper (§3-4).
+//
+// GM's mapper explores the fabric with probe packets, assembles a topology
+// database, computes a route between every pair of hosts and downloads each
+// host's row into its NIC SRAM. The paper modifies the route-computation
+// step to emit ITB routes (Fig. 3b format); everything else is stock.
+//
+// We reproduce the algorithmic substrate: a depth-first probe walk that
+// discovers every switch, port and host (counting probes the way the real
+// mapper pays packets), followed by up*/down* orientation and route-table
+// construction under either policy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "itb/routing/table.hpp"
+#include "itb/topo/topology.hpp"
+
+namespace itb::mapper {
+
+/// Outcome of the probe walk.
+struct DiscoveryReport {
+  /// The reconstructed fabric. Switch indices are in discovery order;
+  /// host indices are the true GM host ids (learned from probe replies).
+  topo::Topology discovered;
+
+  /// discovered switch index -> true switch index (for tests; the real
+  /// mapper never knows the "true" numbering).
+  std::vector<std::uint16_t> switch_of;
+
+  /// Probe packets spent: one per port scan, plus one reply per answer.
+  std::uint64_t probes_sent = 0;
+
+  std::size_t switches_found() const { return discovered.switch_count(); }
+  std::size_t hosts_found() const { return discovered.host_count(); }
+};
+
+/// Walk the fabric starting from `root_host`'s uplink switch. The walk is
+/// deterministic: ports are scanned in ascending order, new switches are
+/// visited depth-first. Unattached ports cost one (unanswered) probe each.
+DiscoveryReport discover(const topo::Topology& fabric,
+                         std::uint16_t root_host);
+
+/// Full mapper run: discover, orient (root = first discovered switch),
+/// compute the all-pairs table under `policy`. The returned table's routes
+/// are valid on the real fabric because the discovered graph is
+/// port-faithful.
+struct MapResult {
+  DiscoveryReport report;
+  routing::RouteTable table;
+};
+MapResult run(const topo::Topology& fabric, routing::Policy policy,
+              std::uint16_t root_host = 0,
+              routing::ItbHostSelection selection =
+                  routing::ItbHostSelection::kLowestIndex);
+
+}  // namespace itb::mapper

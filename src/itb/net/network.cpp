@@ -1,0 +1,286 @@
+#include "itb/net/network.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace itb::net {
+
+struct Network::Worm {
+  TxHandle handle = 0;
+  packet::Bytes bytes;
+  std::uint16_t src_host = 0;
+  sim::Time injected_at = 0;
+  std::optional<sim::Time> data_ready_opt;
+  sim::Time data_ready = 0;     // resolved at injection grant
+  sim::Duration pipe_ns = 0;    // fixed per-hop latency the head has paid
+  std::size_t orig_len = 0;
+  std::vector<topo::Channel> held;
+  sim::Time tail_time = -1;     // set once the head reaches the final NIC
+  bool done = false;
+};
+
+std::optional<Network::RxPeek> Network::peek_rx(TxHandle h) const {
+  for (const auto& w : worms_) {
+    if (w->handle == h && !w->done && w->tail_time >= 0)
+      return RxPeek{&w->bytes, w->tail_time};
+  }
+  return std::nullopt;
+}
+
+Network::Network(const topo::Topology& topo, const NetTiming& timing,
+                 sim::EventQueue& queue, sim::Tracer& tracer)
+    : topo_(topo),
+      timing_(timing),
+      queue_(queue),
+      tracer_(tracer),
+      fault_rng_(FaultPlan{}.seed),
+      hooks_(topo.host_count(), nullptr),
+      rx_ready_(topo.host_count(), true),
+      channels_(topo.link_count() * 2),
+      channel_busy_(topo.link_count() * 2, 0) {}
+
+void Network::set_fault_plan(const FaultPlan& plan) {
+  faults_ = plan;
+  fault_rng_ = sim::Rng(plan.seed);
+}
+
+Network::~Network() = default;
+
+void Network::attach_host(std::uint16_t host, HostHooks* hooks) {
+  if (host >= hooks_.size()) throw std::out_of_range("host out of range");
+  if (hooks_[host]) throw std::logic_error("host already attached");
+  hooks_[host] = hooks;
+}
+
+std::optional<topo::Channel> Network::channel_out(topo::NodeId from,
+                                                  std::uint8_t port) const {
+  auto lid = topo_.link_at(from, port);
+  if (!lid) return std::nullopt;
+  const auto& l = topo_.link(*lid);
+  // Forward means a->b; we leave through `port` on `from`, so the channel
+  // is forward iff (from, port) is the a end. Port matters for self-cables.
+  const bool fwd = l.a.node == from && l.a.port == port;
+  return topo::Channel{*lid, fwd};
+}
+
+TxHandle Network::inject(std::uint16_t host, packet::Bytes bytes,
+                         std::optional<sim::Time> data_ready) {
+  if (host >= hooks_.size() || !hooks_[host])
+    throw std::logic_error("inject from unattached host");
+  if (bytes.empty()) throw std::invalid_argument("empty packet");
+
+  auto worm = std::make_unique<Worm>();
+  Worm* w = worm.get();
+  w->handle = next_handle_++;
+  w->bytes = std::move(bytes);
+  w->src_host = host;
+  w->injected_at = queue_.now();
+  w->data_ready_opt = data_ready;
+  w->orig_len = w->bytes.size();
+  worms_.push_back(std::move(worm));
+  ++live_worms_;
+  ++stats_.injected;
+
+  auto entry = channel_out(topo::host_id(host), 0);
+  if (!entry) throw std::logic_error("host has no uplink");
+  tracer_.emit(queue_.now(), sim::TraceCategory::kLink, [&] {
+    return "inject h" + std::to_string(host) + " tx" +
+           std::to_string(w->handle) + " " + packet::describe(w->bytes);
+  });
+  request_channel(w, *entry);
+  return w->handle;
+}
+
+void Network::set_host_rx_ready(std::uint16_t host, bool ready) {
+  rx_ready_.at(host) = ready;
+  if (!ready) return;
+  // A waiter may have been parked on the (free) channel into this host.
+  const auto up = topo_.host_uplink(host);
+  // Channel into the host: leaves the switch through the uplink port.
+  auto into = channel_out(up.node, up.port);
+  if (!into) return;
+  auto& st = channels_[channel_index(*into)];
+  if (!st.busy && !st.waiters.empty()) {
+    Worm* w = st.waiters.front();
+    st.waiters.pop_front();
+    grant_channel(w, *into);
+  }
+}
+
+bool Network::host_rx_ready(std::uint16_t host) const {
+  return rx_ready_.at(host);
+}
+
+void Network::request_channel(Worm* w, topo::Channel c) {
+  auto& st = channels_[channel_index(c)];
+  const auto target = topo_.channel_target(c);
+  const bool gated = target.node.kind == topo::NodeKind::kHost &&
+                     !rx_ready_[target.node.index];
+  if (st.busy || gated || !st.waiters.empty()) {
+    ++stats_.head_blocks;
+    st.waiters.push_back(w);
+    return;
+  }
+  grant_channel(w, c);
+}
+
+void Network::grant_channel(Worm* w, topo::Channel c) {
+  auto& st = channels_[channel_index(c)];
+  st.busy = true;
+  st.busy_since = queue_.now();
+  w->held.push_back(c);
+
+  const bool is_entry = w->held.size() == 1;
+  if (is_entry) {
+    w->data_ready = w->data_ready_opt.value_or(
+        queue_.now() + timing_.byte_time(static_cast<std::int64_t>(w->orig_len)));
+    hooks_[w->src_host]->on_tx_started(queue_.now(), w->handle);
+  }
+
+  // The head crosses the link: propagation plus one byte of transmission.
+  const sim::Duration hop = timing_.link_latency_ns + timing_.byte_time(1);
+  w->pipe_ns += hop;
+  const auto arrival = topo_.channel_target(c);
+  queue_.schedule_in(hop, [this, w, arrival] { head_at_node(w, arrival); });
+}
+
+void Network::head_at_node(Worm* w, topo::Endpoint arrival) {
+  const sim::Time t = queue_.now();
+  if (arrival.node.kind == topo::NodeKind::kHost) {
+    complete_at_host(w, arrival.node.index, t);
+    return;
+  }
+
+  // A switch: consume the leading route byte to pick the output port.
+  if (w->bytes.empty() || !packet::is_route_byte(w->bytes[0])) {
+    drop(w, "no route byte at switch");
+    return;
+  }
+  const std::uint8_t out_port = packet::consume_route_byte(w->bytes);
+  auto out = channel_out(arrival.node, out_port);
+  if (!out) {
+    drop(w, "route byte names a dangling port");
+    return;
+  }
+
+  // Fall-through latency: base plus the LAN penalty for each LAN port
+  // crossed (the incoming link and the outgoing link each count, §5).
+  sim::Duration ft = timing_.switch_fallthrough_ns;
+  const auto& in_link = topo_.link(w->held.back().link);
+  if (in_link.kind == topo::PortKind::kLan) ft += timing_.lan_port_penalty_ns;
+  if (topo_.link(out->link).kind == topo::PortKind::kLan)
+    ft += timing_.lan_port_penalty_ns;
+  w->pipe_ns += ft;
+
+  tracer_.emit(t, sim::TraceCategory::kSwitch, [&] {
+    return "tx" + std::to_string(w->handle) + " head at s" +
+           std::to_string(arrival.node.index) + " -> port " +
+           std::to_string(out_port);
+  });
+  queue_.schedule_in(ft, [this, w, out = *out] { request_channel(w, out); });
+}
+
+void Network::complete_at_host(Worm* w, std::uint16_t host,
+                               sim::Time head_arrival) {
+  HostHooks* hooks = hooks_[host];
+  if (!hooks) {
+    drop(w, "destination host not attached");
+    return;
+  }
+  hooks->on_rx_head(head_arrival, w->handle);
+
+  const auto len = static_cast<std::int64_t>(w->bytes.size());
+  // Early Recv trigger: the LANai raises it when the first 4 bytes are in
+  // SRAM (§4).
+  const sim::Time early = head_arrival + timing_.byte_time(std::min<std::int64_t>(len, 4) - 1);
+  packet::Bytes head4(w->bytes.begin(),
+                      w->bytes.begin() + std::min<std::int64_t>(len, 4));
+  const TxHandle handle = w->handle;
+  queue_.schedule_at(early, [this, hooks, handle, head4 = std::move(head4)] {
+    hooks->on_rx_early_header(queue_.now(), handle, head4);
+  });
+
+  // Tail arrival: pipeline behind the head, but never before the source
+  // even had the data (virtual cut-through coupling).
+  const sim::Time tail = std::max(head_arrival + timing_.byte_time(len - 1),
+                                  w->data_ready + w->pipe_ns);
+  w->tail_time = tail;
+  // The source's last byte departs one pipe latency before the tail lands.
+  const sim::Time src_done = std::max(queue_.now(), tail - w->pipe_ns);
+  const std::uint16_t src = w->src_host;
+  queue_.schedule_at(src_done, [this, src, handle] {
+    hooks_[src]->on_tx_complete(queue_.now(), handle);
+  });
+
+  queue_.schedule_at(tail, [this, w, host, hooks] {
+    // Fault injection (tests of GM's reliability claims, §3): a faulty
+    // last hop may lose the packet outright or flip a payload bit, which
+    // the CRC check at the receiving MCP turns into a discard.
+    bool lost = false;
+    if (faults_.drop_probability > 0 &&
+        fault_rng_.next_bool(faults_.drop_probability)) {
+      lost = true;
+      ++stats_.faults_injected;
+    } else if (faults_.corrupt_probability > 0 &&
+               fault_rng_.next_bool(faults_.corrupt_probability) &&
+               w->bytes.size() > 3) {
+      const auto victim =
+          3 + fault_rng_.next_below(w->bytes.size() - 3);
+      w->bytes[victim] ^= 0x40;
+      ++stats_.faults_injected;
+    }
+    ++stats_.delivered;
+    tracer_.emit(queue_.now(), sim::TraceCategory::kLink, [&] {
+      return "tx" + std::to_string(w->handle) + (lost ? " LOST before h" : " delivered to h") +
+             std::to_string(host);
+    });
+    WirePacket pkt{w->handle, std::move(w->bytes), w->src_host, w->injected_at};
+    release_channels(w);
+    finish_worm(w);
+    if (lost) {
+      hooks->on_rx_aborted(queue_.now(), pkt.handle);
+    } else {
+      hooks->on_rx_complete(queue_.now(), std::move(pkt));
+    }
+  });
+}
+
+void Network::release_channels(Worm* w) {
+  for (auto c : w->held) {
+    auto& st = channels_[channel_index(c)];
+    st.busy = false;
+    channel_busy_[channel_index(c)] += queue_.now() - st.busy_since;
+    if (st.waiters.empty()) continue;
+    // Re-arbitrate: the front waiter gets the channel unless the host gate
+    // holds it back, in which case it stays parked.
+    const auto target = topo_.channel_target(c);
+    const bool gated = target.node.kind == topo::NodeKind::kHost &&
+                       !rx_ready_[target.node.index];
+    if (gated) continue;
+    Worm* next = st.waiters.front();
+    st.waiters.pop_front();
+    grant_channel(next, c);
+  }
+  w->held.clear();
+}
+
+void Network::drop(Worm* w, const char* why) {
+  ++stats_.dropped;
+  tracer_.emit(queue_.now(), sim::TraceCategory::kLink, [&] {
+    return "tx" + std::to_string(w->handle) + " dropped: " + why;
+  });
+  if (hooks_[w->src_host]) hooks_[w->src_host]->on_tx_dropped(queue_.now(), w->handle);
+  release_channels(w);
+  finish_worm(w);
+}
+
+void Network::finish_worm(Worm* w) {
+  w->done = true;
+  --live_worms_;
+  // Compact occasionally so long runs don't accumulate dead worms.
+  if (worms_.size() > 64 && live_worms_ < worms_.size() / 2) {
+    std::erase_if(worms_, [](const std::unique_ptr<Worm>& p) { return p->done; });
+  }
+}
+
+}  // namespace itb::net

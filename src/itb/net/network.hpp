@@ -1,0 +1,187 @@
+// Event-driven wormhole network.
+//
+// Packets propagate as "worms": the head walks the source route hop by hop,
+// reserving the directed channel of every link it crosses; payload bytes
+// stream pipelined behind it at link rate. A blocked head keeps its channels
+// reserved — the wormhole property that makes contention cascade (§1) and
+// that ITB ejection relieves. Myrinet's Stop&Go flow control appears as its
+// observable consequence: an upstream transmitter pauses while its channel
+// chain is stalled, and reception at an ejecting NIC continues regardless of
+// whether the re-injection is blocked (§4).
+//
+// Channel arbitration is FIFO per directed channel. The channel into a host
+// is additionally gated on the NIC having a free receive buffer: a NIC out
+// of buffers exerts backpressure exactly like a busy channel.
+//
+// Completion timing: with every link at the same rate, the tail reaches the
+// destination at
+//     max(head_arrival + (len-1) * byte_time,  data_ready + pipe_latency)
+// where pipe_latency accumulates the per-hop fixed costs the head paid and
+// data_ready is when the *source* had the last byte available — the hook
+// that models virtual cut-through re-injection of a packet that is still
+// being received (§4).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "itb/net/timing.hpp"
+#include "itb/net/wire_packet.hpp"
+#include "itb/sim/event_queue.hpp"
+#include "itb/sim/rng.hpp"
+#include "itb/sim/trace.hpp"
+#include "itb/topo/topology.hpp"
+
+namespace itb::net {
+
+/// Endpoint callbacks, implemented by the NIC model. All times are the
+/// simulated instants of the wire events themselves; the NIC adds its own
+/// processing costs on top.
+class HostHooks {
+ public:
+  virtual ~HostHooks() = default;
+
+  /// First byte of a packet reached the NIC.
+  virtual void on_rx_head(sim::Time t, TxHandle h) = 0;
+
+  /// The first four bytes are in NIC SRAM — the trigger of the paper's
+  /// Early Recv Packet event. `head4` holds up to 4 leading bytes.
+  virtual void on_rx_early_header(sim::Time t, TxHandle h,
+                                  const packet::Bytes& head4) = 0;
+
+  /// Last byte landed; the packet (route bytes already consumed) is handed
+  /// over. The receive buffer the NIC granted is now in use.
+  virtual void on_rx_complete(sim::Time t, WirePacket packet) = 0;
+
+  /// The injection's first byte left the NIC (send DMA streaming).
+  virtual void on_tx_started(sim::Time t, TxHandle h) = 0;
+
+  /// The injection's last byte left the NIC (send DMA free again).
+  virtual void on_tx_complete(sim::Time t, TxHandle h) = 0;
+
+  /// The packet was dropped in the network (malformed route). Diagnostic.
+  virtual void on_tx_dropped(sim::Time /*t*/, TxHandle /*h*/) {}
+
+  /// A reception that began (on_rx_head fired) will never complete — the
+  /// packet was lost by fault injection. The NIC must release whatever it
+  /// reserved for this handle.
+  virtual void on_rx_aborted(sim::Time /*t*/, TxHandle /*h*/) {}
+};
+
+/// Counters exposed for benches and tests.
+struct NetworkStats {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t head_blocks = 0;  // times a head had to queue for a channel
+  std::uint64_t faults_injected = 0;  // packets killed/corrupted by FaultPlan
+};
+
+/// Fault injection: GM promises "reliable and ordered packet delivery in
+/// presence of network faults" (§3); this is how the test suite makes the
+/// network unfaithful. Probabilities are per delivered packet.
+struct FaultPlan {
+  double drop_probability = 0.0;     // packet vanishes at the last hop
+  double corrupt_probability = 0.0;  // one payload byte is flipped
+  std::uint64_t seed = 0x5EED;
+};
+
+class Network {
+ public:
+  Network(const topo::Topology& topo, const NetTiming& timing,
+          sim::EventQueue& queue, sim::Tracer& tracer);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Register the NIC serving `host`. Must be called once per host before
+  /// any traffic involving it.
+  void attach_host(std::uint16_t host, HostHooks* hooks);
+
+  /// Queue a packet for injection at `host`. `data_ready` is when the last
+  /// byte becomes available in the sending NIC (pass std::nullopt for a
+  /// fully buffered packet: ready as soon as transmission reaches it).
+  /// Transmission begins when the host's uplink channel is granted.
+  TxHandle inject(std::uint16_t host, packet::Bytes bytes,
+                  std::optional<sim::Time> data_ready = std::nullopt);
+
+  /// Arm fault injection (replaces any previous plan; a default-constructed
+  /// plan disables it).
+  void set_fault_plan(const FaultPlan& plan);
+
+  /// Receive-buffer gate: while false, the channel into `host` is not
+  /// granted and upstream packets stall (Stop&Go backpressure).
+  void set_host_rx_ready(std::uint16_t host, bool ready);
+  bool host_rx_ready(std::uint16_t host) const;
+
+  const NetworkStats& stats() const { return stats_; }
+  const NetTiming& timing() const { return timing_; }
+  const topo::Topology& topology() const { return topo_; }
+
+  /// Total time each directed channel spent reserved; index 2*link +
+  /// (forward ? 0 : 1). Load-balance benches read this.
+  const std::vector<sim::Duration>& channel_busy_ns() const {
+    return channel_busy_;
+  }
+
+  /// Number of worms currently in flight (for drain loops in tests).
+  std::size_t in_flight() const { return live_worms_; }
+
+  /// Snapshot of an in-flight reception, valid between on_rx_head and
+  /// on_rx_complete at the destination NIC. The NIC uses it to set up a
+  /// virtual cut-through re-injection while the packet is still arriving:
+  /// the real LANai streams bytes from its receive buffer as they land;
+  /// the simulator equivalently hands over the content plus the instant
+  /// the last byte will be in SRAM (`tail_time`).
+  struct RxPeek {
+    const packet::Bytes* bytes;
+    sim::Time tail_time;
+  };
+  std::optional<RxPeek> peek_rx(TxHandle h) const;
+
+ private:
+  struct Worm;
+  struct ChannelState {
+    bool busy = false;
+    sim::Time busy_since = 0;
+    std::deque<Worm*> waiters;
+  };
+
+  const topo::Topology& topo_;
+  NetTiming timing_;
+  sim::EventQueue& queue_;
+  sim::Tracer& tracer_;
+  NetworkStats stats_;
+  FaultPlan faults_;
+  sim::Rng fault_rng_;
+
+  std::vector<HostHooks*> hooks_;     // by host index
+  std::vector<bool> rx_ready_;        // by host index
+  std::vector<ChannelState> channels_;  // by channel index
+  std::vector<sim::Duration> channel_busy_;
+  std::vector<std::unique_ptr<Worm>> worms_;
+  std::size_t live_worms_ = 0;
+  TxHandle next_handle_ = 1;
+
+  static std::uint32_t channel_index(topo::Channel c) {
+    return 2 * c.link + (c.forward ? 0 : 1);
+  }
+
+  /// Directed channel leaving `from` through `port`; nullopt if dangling.
+  std::optional<topo::Channel> channel_out(topo::NodeId from,
+                                           std::uint8_t port) const;
+
+  void request_channel(Worm* w, topo::Channel c);
+  void grant_channel(Worm* w, topo::Channel c);
+  void release_channels(Worm* w);
+  void head_at_node(Worm* w, topo::Endpoint arrival);
+  void complete_at_host(Worm* w, std::uint16_t host, sim::Time head_arrival);
+  void drop(Worm* w, const char* why);
+  void finish_worm(Worm* w);
+};
+
+}  // namespace itb::net

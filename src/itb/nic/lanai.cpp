@@ -1,0 +1,29 @@
+#include "itb/nic/lanai.hpp"
+
+namespace itb::nic {
+
+void McpCpu::post(McpPriority priority, int cycles, std::function<void()> fn,
+                  bool skip_dispatch) {
+  jobs_.push(Job{static_cast<int>(priority), next_seq_++, cycles,
+                 skip_dispatch, std::move(fn)});
+  if (!busy_) pump();
+}
+
+void McpCpu::pump() {
+  if (jobs_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Job job = std::move(const_cast<Job&>(jobs_.top()));
+  jobs_.pop();
+  const int total = job.cycles + (job.skip_dispatch ? 0 : timing_.dispatch);
+  const sim::Duration cost = timing_.cycles(total);
+  busy_ns_ += cost;
+  queue_.schedule_in(cost, [this, fn = std::move(job.fn)] {
+    fn();
+    pump();
+  });
+}
+
+}  // namespace itb::nic

@@ -1,0 +1,25 @@
+#include "itb/nic/mux.hpp"
+
+namespace itb::nic {
+
+void NicMux::route(packet::PacketType type, NicClient* client) {
+  clients_[slot(type)] = client;
+}
+
+void NicMux::on_message(sim::Time t, packet::PacketType type,
+                        packet::Bytes payload) {
+  if (NicClient* client = clients_[slot(type)]) {
+    client->on_message(t, type, std::move(payload));
+  } else {
+    ++unclaimed_;
+  }
+}
+
+void NicMux::on_send_complete(sim::Time t, std::uint64_t token) {
+  // Send tokens are NIC-scoped, not type-scoped; every stack hears the
+  // completion and ignores tokens it does not own.
+  for (NicClient* client : clients_)
+    if (client) client->on_send_complete(t, token);
+}
+
+}  // namespace itb::nic

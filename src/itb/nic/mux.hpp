@@ -1,0 +1,41 @@
+// Packet-type demultiplexer for host-side NIC clients.
+//
+// The MCP classifies arrived packets by their 2-byte type (§4: GM, mapping,
+// IP, ITB); on the host the corresponding software stacks consume them. A
+// NicMux stands in as the NIC's single client and forwards each delivery to
+// the stack registered for its type — GM and the IP driver can then share
+// one interface, as they do under real GM.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "itb/nic/nic.hpp"
+
+namespace itb::nic {
+
+class NicMux final : public NicClient {
+ public:
+  /// Installs itself as `nic`'s client.
+  explicit NicMux(Nic& nic) { nic.set_client(this); }
+
+  /// Register the consumer of packets of `type` (nullptr unregisters).
+  void route(packet::PacketType type, NicClient* client);
+
+  /// Packets that arrived with no registered consumer.
+  std::uint64_t unclaimed() const { return unclaimed_; }
+
+  void on_message(sim::Time t, packet::PacketType type,
+                  packet::Bytes payload) override;
+  void on_send_complete(sim::Time t, std::uint64_t token) override;
+
+ private:
+  static std::size_t slot(packet::PacketType type) {
+    return static_cast<std::uint16_t>(type) & 0x7;
+  }
+
+  std::array<NicClient*, 8> clients_{};
+  std::uint64_t unclaimed_ = 0;
+};
+
+}  // namespace itb::nic

@@ -1,0 +1,332 @@
+#include "itb/nic/nic.hpp"
+
+#include <stdexcept>
+
+namespace itb::nic {
+
+Nic::Nic(sim::EventQueue& queue, sim::Tracer& tracer, net::Network& network,
+         host::PciBus& pci, std::uint16_t host, const LanaiTiming& timing,
+         const McpOptions& options)
+    : queue_(queue),
+      tracer_(tracer),
+      network_(network),
+      pci_(pci),
+      host_(host),
+      timing_(timing),
+      options_(options),
+      cpu_(queue, timing),
+      routes_(network.topology().host_count()) {
+  network_.attach_host(host, this);
+}
+
+void Nic::set_route(std::uint16_t dst, std::vector<packet::Route> segments) {
+  routes_.at(dst) = std::move(segments);
+}
+
+void Nic::load_routes(const routing::RouteTable& table) {
+  for (std::uint16_t d = 0; d < table.host_count(); ++d) {
+    if (d == host_) continue;
+    routes_.at(d) = table.route(host_, d).segments;
+  }
+}
+
+std::uint64_t Nic::post_send(std::uint16_t dst, packet::Bytes payload,
+                             packet::PacketType type) {
+  if (dst == host_) throw std::invalid_argument("loopback send not supported");
+  if (payload.size() > kMtu) throw std::invalid_argument("payload exceeds MTU");
+  if (routes_.at(dst).empty())
+    throw std::logic_error("no route to host " + std::to_string(dst));
+  const std::uint64_t token = next_token_++;
+  host_queue_.push_back(PostedSend{token, dst, type, std::move(payload)});
+  sdma_pump();
+  return token;
+}
+
+void Nic::sdma_pump() {
+  // SRAM send buffers in use: filled-and-waiting, being filled by the host
+  // DMA, and the one the send DMA is draining.
+  const int occupied = static_cast<int>(ready_buffers_.size()) +
+                       sdma_in_flight_ + (send_dma_busy_ ? 1 : 0);
+  if (host_queue_.empty() || occupied >= options_.send_buffers) return;
+
+  ++sdma_in_flight_;
+  PostedSend ps = std::move(host_queue_.front());
+  host_queue_.pop_front();
+  cpu_.post(McpPriority::kSdma, timing_.sdma_process,
+            [this, ps = std::move(ps)]() mutable {
+              const auto bytes = static_cast<std::int64_t>(ps.payload.size());
+              pci_.dma(bytes, [this, ps = std::move(ps)]() mutable {
+                --sdma_in_flight_;
+                ready_buffers_.push_back(std::move(ps));
+                send_pump();
+                sdma_pump();
+              });
+            });
+}
+
+void Nic::send_pump() {
+  if (send_dma_busy_ || ready_buffers_.empty()) return;
+  send_dma_busy_ = true;
+  PostedSend ps = std::move(ready_buffers_.front());
+  ready_buffers_.pop_front();
+  cpu_.post(McpPriority::kHostRequest, timing_.send_process,
+            [this, ps = std::move(ps)]() mutable {
+              auto bytes =
+                  packet::build_itb_packet(routes_[ps.dst], ps.type, ps.payload);
+              const std::uint64_t token = ps.token;
+              queue_.schedule_in(
+                  timing_.cycles(timing_.send_dma_start),
+                  [this, token, bytes = std::move(bytes)]() mutable {
+                    const auto h = network_.inject(host_, std::move(bytes));
+                    tx_tokens_[h] = token;
+                    ++stats_.sent;
+                  });
+            });
+}
+
+// --------------------------------------------------------------- receive --
+
+void Nic::on_rx_head(sim::Time, net::TxHandle h) {
+  if (rx_reserved_ >= options_.recv_buffers) {
+    // Only reachable in drop_when_full mode: with backpressure the network
+    // never grants the final channel while we are out of buffers.
+    rx_doomed_.insert(h);
+    return;
+  }
+  ++rx_reserved_;
+  if (!options_.drop_when_full && rx_reserved_ >= options_.recv_buffers)
+    network_.set_host_rx_ready(host_, false);
+}
+
+void Nic::on_rx_early_header(sim::Time, net::TxHandle h,
+                             const packet::Bytes& head4) {
+  if (!options_.itb_support || !options_.early_recv) return;
+  if (rx_doomed_.contains(h)) return;
+
+  // The LANai raised the Early Recv Packet event; its handler probes the
+  // type field — only the 2-byte type fits in the 4-byte snapshot. The
+  // claim is recorded immediately (simulator bookkeeping); the cost lands
+  // on the MCP CPU.
+  auto type = packet::peek_type(head4);
+  const bool is_itb = type == packet::PacketType::kItb;
+  if (is_itb) itb_claimed_.insert(h);
+
+  cpu_.post(McpPriority::kEarlyRecv, timing_.early_recv_check, [this, h,
+                                                                is_itb] {
+    if (!is_itb) return;  // normal packet: resume normal dispatching
+    if (send_dma_busy_) {
+      // "ITB packet pending" flag: serviced at send completion (Fig. 5).
+      ++stats_.itb_pending_hits;
+      itb_pending_.push_back(h);
+      return;
+    }
+    send_dma_busy_ = true;
+    if (options_.recv_side_reinjection) {
+      // The Recv machine programs the send DMA itself, skipping one
+      // dispatching cycle (Fig. 4, dashed lines).
+      cpu_.post(McpPriority::kEarlyRecv, timing_.itb_program_send,
+                [this, h] { start_reinjection(h); }, /*skip_dispatch=*/true);
+    } else {
+      cpu_.post(McpPriority::kItbPendingSend, timing_.itb_program_send,
+                [this, h] { start_reinjection(h); });
+    }
+  });
+}
+
+void Nic::start_reinjection(net::TxHandle h) {
+  // Packet content: still streaming in (peek) or fully received (stash).
+  packet::Bytes stripped;
+  sim::Time data_ready;
+  if (auto it = itb_stash_.find(h); it != itb_stash_.end()) {
+    stripped = packet::strip_itb_stage(it->second.bytes);
+    data_ready = queue_.now();
+    itb_stash_.erase(it);
+  } else if (auto peek = network_.peek_rx(h)) {
+    stripped = packet::strip_itb_stage(*peek->bytes);
+    data_ready = peek->tail_time;
+  } else {
+    // The packet was lost (fault injection) between detection and DMA
+    // programming; on_rx_aborted already released its receive buffer.
+    // Release the send DMA and resume normal service.
+    tracer_.emit(queue_.now(), sim::TraceCategory::kMcp, [&] {
+      return "h" + std::to_string(host_) + " ITB rx" + std::to_string(h) +
+             " lost before re-injection";
+    });
+    send_dma_busy_ = false;
+    if (!itb_pending_.empty()) {
+      const auto next = itb_pending_.front();
+      itb_pending_.pop_front();
+      send_dma_busy_ = true;
+      cpu_.post(McpPriority::kItbPendingSend, timing_.itb_program_send,
+                [this, next] { start_reinjection(next); });
+    } else {
+      send_pump();
+    }
+    return;
+  }
+  itb_injected_.insert(h);
+  ++stats_.itb_forwarded;
+  tracer_.emit(queue_.now(), sim::TraceCategory::kMcp, [&] {
+    return "h" + std::to_string(host_) + " re-injecting ITB rx" +
+           std::to_string(h);
+  });
+  queue_.schedule_in(
+      timing_.cycles(timing_.send_dma_start),
+      [this, h, data_ready, stripped = std::move(stripped)]() mutable {
+        const auto nh =
+            network_.inject(host_, std::move(stripped), data_ready);
+        reinjections_.insert(nh);
+        reinject_of_[nh] = h;
+      });
+}
+
+void Nic::on_rx_complete(sim::Time, net::WirePacket packet) {
+  ++stats_.received;
+  const auto h = packet.handle;
+
+  if (rx_doomed_.erase(h) > 0) {
+    ++stats_.dropped_no_buffer;
+    tracer_.emit(queue_.now(), sim::TraceCategory::kNic, [&] {
+      return "h" + std::to_string(host_) + " dropped rx" + std::to_string(h) +
+             " (no buffer)";
+    });
+    return;
+  }
+
+  if (itb_claimed_.contains(h)) {
+    // Handled (or queued) by the Early Recv path. Keep the bytes around if
+    // the re-injection has not started yet; the receive buffer stays in
+    // use until the re-injection's send completes.
+    if (!itb_injected_.contains(h)) itb_stash_[h] = std::move(packet);
+    return;
+  }
+
+  const int cost =
+      timing_.recv_process + (options_.itb_support ? timing_.itb_recv_extra : 0);
+  cpu_.post(McpPriority::kRecvComplete, cost,
+            [this, packet = std::move(packet)]() mutable {
+              auto head = packet::parse_head(packet.bytes);
+              if (!head) {
+                ++stats_.rx_unknown_type;
+                free_recv_buffer();
+                return;
+              }
+              if (head->type == packet::PacketType::kItb) {
+                if (!options_.itb_support) {
+                  // The original MCP has no idea what an ITB packet is.
+                  ++stats_.rx_unknown_type;
+                  free_recv_buffer();
+                  return;
+                }
+                // Late detection (early_recv ablation): forward from the
+                // fully received buffer.
+                const auto h = packet.handle;
+                itb_claimed_.insert(h);
+                itb_stash_[h] = std::move(packet);
+                if (send_dma_busy_) {
+                  ++stats_.itb_pending_hits;
+                  itb_pending_.push_back(h);
+                } else {
+                  send_dma_busy_ = true;
+                  cpu_.post(McpPriority::kItbPendingSend,
+                            timing_.itb_program_send,
+                            [this, h] { start_reinjection(h); });
+                }
+                return;
+              }
+              // The interface checks the packet CRC before handing the
+              // payload to the host; a corrupted packet is discarded and
+              // GM's retransmission recovers it.
+              if (!packet::verify_crc(packet.bytes)) {
+                ++stats_.rx_bad_crc;
+                free_recv_buffer();
+                return;
+              }
+              // Normal packet: RDMA the payload into host memory.
+              packet::Bytes payload(
+                  packet.bytes.begin() +
+                      static_cast<std::ptrdiff_t>(head->payload_offset),
+                  packet.bytes.end() - 1);
+              const auto type = head->type;
+              pci_.dma(static_cast<std::int64_t>(payload.size()),
+                       [this, type, payload = std::move(payload)]() mutable {
+                         cpu_.post(McpPriority::kRdmaComplete,
+                                   timing_.rdma_complete,
+                                   [this, type,
+                                    payload = std::move(payload)]() mutable {
+                                     ++stats_.delivered_to_host;
+                                     if (client_)
+                                       client_->on_message(queue_.now(), type,
+                                                           std::move(payload));
+                                     free_recv_buffer();
+                                   });
+                       });
+            });
+}
+
+void Nic::free_recv_buffer() {
+  --rx_reserved_;
+  network_.set_host_rx_ready(host_, true);
+}
+
+// ------------------------------------------------------------------ send --
+
+void Nic::on_tx_started(sim::Time, net::TxHandle) {}
+
+void Nic::on_tx_complete(sim::Time, net::TxHandle h) {
+  cpu_.post(McpPriority::kSendComplete, timing_.send_complete, [this, h] {
+    if (reinjections_.erase(h) > 0) {
+      const auto orig = reinject_of_.at(h);
+      reinject_of_.erase(h);
+      itb_claimed_.erase(orig);
+      itb_injected_.erase(orig);
+      free_recv_buffer();  // the ITB packet's receive buffer
+    } else if (auto it = tx_tokens_.find(h); it != tx_tokens_.end()) {
+      const auto token = it->second;
+      tx_tokens_.erase(it);
+      if (client_) client_->on_send_complete(queue_.now(), token);
+    }
+    send_dma_busy_ = false;
+    if (!itb_pending_.empty()) {
+      // Pending ITB packets beat normal sends (Fig. 5, high priority).
+      const auto next = itb_pending_.front();
+      itb_pending_.pop_front();
+      send_dma_busy_ = true;
+      cpu_.post(McpPriority::kItbPendingSend, timing_.itb_program_send,
+                [this, next] { start_reinjection(next); });
+    } else {
+      send_pump();
+    }
+    sdma_pump();
+  });
+}
+
+void Nic::on_rx_aborted(sim::Time, net::TxHandle h) {
+  ++stats_.rx_aborted;
+  if (rx_doomed_.erase(h) > 0) return;  // no buffer was reserved
+  if (itb_injected_.contains(h)) return;  // re-injection owns the buffer now
+  itb_claimed_.erase(h);
+  itb_stash_.erase(h);
+  std::erase(itb_pending_, h);
+  free_recv_buffer();
+}
+
+void Nic::on_tx_dropped(sim::Time, net::TxHandle h) {
+  // Clean up bookkeeping for a transmission the network discarded.
+  cpu_.post(McpPriority::kSendComplete, timing_.send_complete, [this, h] {
+    if (reinjections_.erase(h) > 0) {
+      const auto orig = reinject_of_.at(h);
+      reinject_of_.erase(h);
+      itb_claimed_.erase(orig);
+      itb_injected_.erase(orig);
+      free_recv_buffer();
+    } else {
+      tx_tokens_.erase(h);
+    }
+    send_dma_busy_ = false;
+    send_pump();
+    sdma_pump();
+  });
+}
+
+}  // namespace itb::nic

@@ -1,0 +1,182 @@
+// The Myrinet NIC: LANai + SRAM buffers + MCP state machines.
+//
+// The MCP (paper §3) is four state machines coordinated by a prioritised
+// event handler:
+//   SDMA — host memory -> NIC send buffer (over the host DMA / PCI bus)
+//   Send — stamp the source route from the NIC route table, start send DMA
+//   Recv — classify arrived packets, program the receive-side host DMA
+//   RDMA — NIC receive buffer -> host memory, completion to the host
+//
+// The ITB modification (paper §4, Figs. 4-5) adds:
+//   * an Early Recv Packet event raised when the first 4 bytes of a packet
+//     are in SRAM, whose handler probes the type field;
+//   * Recv-side re-injection: when the Early Recv handler finds an ITB
+//     packet and the send DMA is free, it programs the re-injection DMA
+//     itself, skipping one event-handler dispatching cycle;
+//   * an "ITB packet pending" flag serviced at send completion when the
+//     send DMA was busy at detection time;
+//   * virtual cut-through: the re-injection can start while the packet is
+//     still arriving; reception always runs to the last byte even if the
+//     re-injection blocks (Stop&Go stalls only the send side).
+//
+// Buffering matches the paper: two receive buffers and two send buffers by
+// default; `recv_buffers` can be raised and `drop_when_full` enables the
+// proposed circular-pool behaviour (accept and drop when full, relying on
+// GM retransmission) instead of link-level backpressure.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "itb/host/pci.hpp"
+#include "itb/net/network.hpp"
+#include "itb/nic/lanai.hpp"
+#include "itb/packet/format.hpp"
+#include "itb/routing/table.hpp"
+
+namespace itb::nic {
+
+struct McpOptions {
+  /// False = the original GM MCP: no ITB code at all. An arriving ITB
+  /// packet counts as an unknown type and is discarded.
+  bool itb_support = true;
+
+  /// Ablations of the two §4 design choices (both true = the paper's MCP).
+  bool early_recv = true;             // detect at 4 bytes vs at completion
+  bool recv_side_reinjection = true;  // skip one dispatch cycle
+
+  int recv_buffers = 2;
+  int send_buffers = 2;
+
+  /// §4 extension: behave like a circular buffer pool — never exert
+  /// backpressure; drop arrivals that find no free buffer (GM retransmits).
+  bool drop_when_full = false;
+
+  static McpOptions original_gm() {
+    McpOptions o;
+    o.itb_support = false;
+    return o;
+  }
+};
+
+struct NicStats {
+  std::uint64_t sent = 0;               // injections for host sends
+  std::uint64_t received = 0;           // packets fully received
+  std::uint64_t delivered_to_host = 0;  // RDMA completions
+  std::uint64_t itb_forwarded = 0;      // re-injections performed
+  std::uint64_t itb_pending_hits = 0;   // ITB found send DMA busy
+  std::uint64_t dropped_no_buffer = 0;  // drop_when_full discards
+  std::uint64_t rx_unknown_type = 0;    // e.g. ITB packet at original MCP
+  std::uint64_t rx_bad_crc = 0;         // corrupted packets discarded
+  std::uint64_t rx_aborted = 0;         // receptions lost mid-flight
+};
+
+/// Host-side observer (the GM library implements this).
+class NicClient {
+ public:
+  virtual ~NicClient() = default;
+
+  /// A packet's payload landed in host memory (RDMA complete).
+  virtual void on_message(sim::Time t, packet::PacketType type,
+                          packet::Bytes payload) = 0;
+
+  /// The send posted with this token fully left the NIC.
+  virtual void on_send_complete(sim::Time t, std::uint64_t token) = 0;
+};
+
+class Nic final : public net::HostHooks {
+ public:
+  static constexpr std::size_t kMtu = 4096;  // GM packet payload limit
+
+  Nic(sim::EventQueue& queue, sim::Tracer& tracer, net::Network& network,
+      host::PciBus& pci, std::uint16_t host, const LanaiTiming& timing,
+      const McpOptions& options);
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  void set_client(NicClient* client) { client_ = client; }
+
+  /// Install the source-route segments toward `dst` (what the mapper
+  /// downloads into NIC SRAM).
+  void set_route(std::uint16_t dst, std::vector<packet::Route> segments);
+
+  /// Install routes for every destination from a computed table.
+  void load_routes(const routing::RouteTable& table);
+
+  /// Queue a payload for transmission; returns the send token. Fragmenting
+  /// messages into MTU-sized packets is the GM layer's job.
+  std::uint64_t post_send(std::uint16_t dst, packet::Bytes payload,
+                          packet::PacketType type = packet::PacketType::kGm);
+
+  const NicStats& stats() const { return stats_; }
+  const McpOptions& options() const { return options_; }
+  const LanaiTiming& timing() const { return timing_; }
+  std::uint16_t host() const { return host_; }
+  const McpCpu& cpu() const { return cpu_; }
+
+  // --- net::HostHooks ---------------------------------------------------
+  void on_rx_head(sim::Time t, net::TxHandle h) override;
+  void on_rx_early_header(sim::Time t, net::TxHandle h,
+                          const packet::Bytes& head4) override;
+  void on_rx_complete(sim::Time t, net::WirePacket packet) override;
+  void on_tx_started(sim::Time t, net::TxHandle h) override;
+  void on_tx_complete(sim::Time t, net::TxHandle h) override;
+  void on_tx_dropped(sim::Time t, net::TxHandle h) override;
+  void on_rx_aborted(sim::Time t, net::TxHandle h) override;
+
+ private:
+  struct PostedSend {
+    std::uint64_t token;
+    std::uint16_t dst;
+    packet::PacketType type;
+    packet::Bytes payload;
+  };
+
+  // SDMA: pull host sends into SRAM send buffers.
+  void sdma_pump();
+  // Send: stamp routes and inject ready buffers.
+  void send_pump();
+  // ITB: forward an in-transit packet (from peek or a stashed completion).
+  void forward_itb(net::TxHandle h);
+  void start_reinjection(net::TxHandle h);
+  void free_recv_buffer();
+
+  sim::EventQueue& queue_;
+  sim::Tracer& tracer_;
+  net::Network& network_;
+  host::PciBus& pci_;
+  std::uint16_t host_;
+  LanaiTiming timing_;
+  McpOptions options_;
+  McpCpu cpu_;
+  NicClient* client_ = nullptr;
+  NicStats stats_;
+
+  std::vector<std::vector<packet::Route>> routes_;  // by destination host
+
+  // Send path.
+  std::deque<PostedSend> host_queue_;       // waiting for SDMA
+  std::deque<PostedSend> ready_buffers_;    // SRAM buffers ready to send
+  int sdma_in_flight_ = 0;                  // host DMA transfers running
+  bool send_dma_busy_ = false;
+  std::uint64_t next_token_ = 1;
+  std::unordered_map<net::TxHandle, std::uint64_t> tx_tokens_;
+
+  // Receive path.
+  int rx_reserved_ = 0;                            // buffers in use
+  std::unordered_set<net::TxHandle> rx_doomed_;    // drop_when_full victims
+  std::unordered_set<net::TxHandle> itb_claimed_;  // handled by Early Recv
+  std::unordered_set<net::TxHandle> itb_injected_; // re-injection started
+  std::deque<net::TxHandle> itb_pending_;          // waiting for send DMA
+  std::unordered_map<net::TxHandle, net::WirePacket> itb_stash_;  // completed
+  std::unordered_set<net::TxHandle> reinjections_;  // our ITB re-injections
+  std::unordered_map<net::TxHandle, net::TxHandle> reinject_of_;
+};
+
+}  // namespace itb::nic

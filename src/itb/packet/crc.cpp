@@ -1,0 +1,55 @@
+#include "itb/packet/crc.hpp"
+
+#include <array>
+
+namespace itb::packet {
+namespace {
+
+constexpr std::array<std::uint8_t, 256> make_crc8_table() {
+  std::array<std::uint8_t, 256> table{};
+  for (int i = 0; i < 256; ++i) {
+    std::uint8_t c = static_cast<std::uint8_t>(i);
+    for (int bit = 0; bit < 8; ++bit)
+      c = static_cast<std::uint8_t>((c & 0x80u) ? (c << 1) ^ 0x07u : c << 1);
+    table[static_cast<std::size_t>(i)] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrc8Table = make_crc8_table();
+constexpr auto kCrc32Table = make_crc32_table();
+
+}  // namespace
+
+std::uint8_t crc8(std::span<const std::uint8_t> data) {
+  std::uint8_t c = 0;
+  for (auto b : data) c = kCrc8Table[static_cast<std::size_t>(c ^ b)];
+  return c;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+void Crc32::update(std::span<const std::uint8_t> data) {
+  for (auto b : data) update(b);
+}
+
+void Crc32::update(std::uint8_t byte) {
+  state_ = kCrc32Table[(state_ ^ byte) & 0xFFu] ^ (state_ >> 8);
+}
+
+}  // namespace itb::packet

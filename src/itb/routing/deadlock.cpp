@@ -1,0 +1,122 @@
+#include "itb/routing/deadlock.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace itb::routing {
+
+DependencyGraph::DependencyGraph(const topo::Topology& topo)
+    : channels_(topo.link_count() * 2), out_(channels_) {}
+
+void DependencyGraph::add_dependency(topo::Channel from, topo::Channel to) {
+  const auto f = channel_index(from);
+  const auto t = channel_index(to);
+  if (f >= channels_ || t >= channels_)
+    throw std::out_of_range("channel out of range");
+  if (std::find(out_[f].begin(), out_[f].end(), t) == out_[f].end())
+    out_[f].push_back(t);
+}
+
+namespace {
+
+/// Directed channel along a host's (single) link.
+topo::Channel host_channel(const topo::Topology& topo, std::uint16_t host,
+                           bool host_to_switch) {
+  const auto lid = topo.link_at(topo::host_id(host), 0);
+  if (!lid) throw std::logic_error("host unattached");
+  const auto& l = topo.link(*lid);
+  const bool host_is_a = l.a.node == topo::host_id(host);
+  return topo::Channel{*lid, host_is_a == host_to_switch};
+}
+
+}  // namespace
+
+void DependencyGraph::add_route(const HostPath& path,
+                                const topo::Topology& topo) {
+  // Split the flat trunk-channel list at segment boundaries: segment i has
+  // segments[i].size() - 1 trunk hops (its final route byte exits to a
+  // host: the next in-transit host or the destination).
+  std::size_t trunk_cursor = 0;
+  for (std::size_t seg = 0; seg < path.segments.size(); ++seg) {
+    std::vector<topo::Channel> chain;
+    const std::uint16_t entry_host =
+        seg == 0 ? path.src_host : path.in_transit_hosts[seg - 1];
+    chain.push_back(host_channel(topo, entry_host, /*host_to_switch=*/true));
+    const std::size_t trunks_here = path.segments[seg].size() - 1;
+    for (std::size_t i = 0; i < trunks_here; ++i)
+      chain.push_back(path.trunk_channels.at(trunk_cursor++));
+    const std::uint16_t exit_host = seg + 1 < path.segments.size()
+                                        ? path.in_transit_hosts[seg]
+                                        : path.dst_host;
+    chain.push_back(host_channel(topo, exit_host, /*host_to_switch=*/false));
+
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i)
+      add_dependency(chain[i], chain[i + 1]);
+    // No edge crosses the ejection: the packet is fully buffered in the
+    // in-transit NIC's SRAM, releasing every channel of this chain before
+    // the next chain's channels are requested.
+  }
+  if (trunk_cursor != path.trunk_channels.size())
+    throw std::logic_error("trunk channel count inconsistent with segments");
+}
+
+void DependencyGraph::add_table(const RouteTable& table,
+                                const topo::Topology& topo) {
+  for (std::uint16_t s = 0; s < table.host_count(); ++s)
+    for (std::uint16_t d = 0; d < table.host_count(); ++d) {
+      if (s == d) continue;
+      add_route(table.route(s, d), topo);
+    }
+}
+
+std::size_t DependencyGraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& adj : out_) n += adj.size();
+  return n;
+}
+
+bool DependencyGraph::has_cycle() const { return !find_cycle().empty(); }
+
+std::vector<topo::Channel> DependencyGraph::find_cycle() const {
+  // Iterative three-colour DFS that records the tree path for cycle
+  // extraction.
+  enum : std::uint8_t { kWhite, kGrey, kBlack };
+  std::vector<std::uint8_t> colour(channels_, kWhite);
+  std::vector<std::uint32_t> parent(channels_, UINT32_MAX);
+
+  for (std::uint32_t root = 0; root < channels_; ++root) {
+    if (colour[root] != kWhite) continue;
+    // Stack of (node, next-edge-index).
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    colour[root] = kGrey;
+    while (!stack.empty()) {
+      auto& [node, edge] = stack.back();
+      if (edge < out_[node].size()) {
+        const auto next = out_[node][edge++];
+        if (colour[next] == kWhite) {
+          colour[next] = kGrey;
+          parent[next] = node;
+          stack.emplace_back(next, 0);
+        } else if (colour[next] == kGrey) {
+          // Found a back edge node -> next; unwind the grey path.
+          std::vector<topo::Channel> cycle;
+          std::uint32_t walk = node;
+          cycle.push_back(channel_of(next));
+          while (walk != next && walk != UINT32_MAX) {
+            cycle.push_back(channel_of(walk));
+            walk = parent[walk];
+          }
+          std::reverse(cycle.begin(), cycle.end());
+          return cycle;
+        }
+      } else {
+        colour[node] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace itb::routing

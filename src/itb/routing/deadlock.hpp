@@ -1,0 +1,55 @@
+// Channel-dependency-graph deadlock analysis.
+//
+// Wormhole routing is deadlock-free iff the channel dependency graph (CDG)
+// induced by the route set is acyclic (Dally & Seitz). A packet holding
+// channel c_i while requesting c_{i+1} creates the dependency c_i -> c_{i+1}
+// for every consecutive channel pair of every route. ITB ejection ends the
+// wormhole: the packet is fully buffered at the in-transit host, so no
+// dependency crosses an ejection point — exactly how the mechanism breaks
+// the down->up cycles (§1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "itb/routing/paths.hpp"
+#include "itb/routing/table.hpp"
+
+namespace itb::routing {
+
+/// CDG over the directed channels of a topology.
+class DependencyGraph {
+ public:
+  explicit DependencyGraph(const topo::Topology& topo);
+
+  /// Add the dependencies contributed by one route. Channel chains restart
+  /// after every ITB ejection (and include the host access channels, which
+  /// terminate/originate chains but never cycle).
+  void add_route(const HostPath& path, const topo::Topology& topo);
+
+  /// Add every route of a table.
+  void add_table(const RouteTable& table, const topo::Topology& topo);
+
+  /// Explicit edge for tests.
+  void add_dependency(topo::Channel from, topo::Channel to);
+
+  bool has_cycle() const;
+
+  /// One cycle as a channel sequence (empty when acyclic); for diagnostics.
+  std::vector<topo::Channel> find_cycle() const;
+
+  std::size_t edge_count() const;
+
+ private:
+  std::size_t channels_;
+  std::vector<std::vector<std::uint32_t>> out_;  // adjacency by channel index
+
+  static std::uint32_t channel_index(topo::Channel c) {
+    return 2 * c.link + (c.forward ? 0 : 1);
+  }
+  static topo::Channel channel_of(std::uint32_t idx) {
+    return topo::Channel{idx / 2, (idx % 2) == 0};
+  }
+};
+
+}  // namespace itb::routing

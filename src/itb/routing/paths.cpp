@@ -1,0 +1,245 @@
+#include "itb/routing/paths.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace itb::routing {
+
+std::size_t HostPath::switch_traversals() const {
+  std::size_t n = 0;
+  for (const auto& s : segments) n += s.size();
+  return n;
+}
+
+Router::Router(const UpDown& updown, ItbHostSelection selection)
+    : updown_(&updown), selection_(selection) {
+  const auto& topo = updown.topology();
+  adj_.resize(topo.switch_count());
+  itb_hosts_.resize(topo.switch_count());
+
+  for (topo::LinkId lid = 0; lid < topo.link_count(); ++lid) {
+    const auto& l = topo.link(lid);
+    const bool a_sw = l.a.node.kind == topo::NodeKind::kSwitch;
+    const bool b_sw = l.b.node.kind == topo::NodeKind::kSwitch;
+    if (a_sw && b_sw) {
+      if (l.a.node == l.b.node) continue;  // self-cables not used for search
+      const auto sa = l.a.node.index;
+      const auto sb = l.b.node.index;
+      adj_[sa].push_back(Hop{lid, sb, l.a.port, updown.is_up_traversal(lid, sa)});
+      adj_[sb].push_back(Hop{lid, sa, l.b.port, updown.is_up_traversal(lid, sb)});
+      continue;
+    }
+    // Host link: every attached host is an ITB candidate.
+    const auto sw_end = a_sw ? l.a : l.b;
+    const auto host_end = a_sw ? l.b : l.a;
+    itb_hosts_[sw_end.node.index].push_back(
+        ItbCandidate{host_end.node.index, sw_end.port});
+  }
+  for (auto& hosts : itb_hosts_)
+    std::sort(hosts.begin(), hosts.end(),
+              [](const ItbCandidate& a, const ItbCandidate& b) {
+                return a.host < b.host;
+              });
+}
+
+const Router::ItbCandidate& Router::pick_itb(std::uint16_t sw,
+                                             std::uint16_t src,
+                                             std::uint16_t dst) const {
+  const auto& hosts = itb_hosts_[sw];
+  if (hosts.empty()) throw std::logic_error("no ITB host on switch");
+  if (selection_ == ItbHostSelection::kLowestIndex) return hosts.front();
+  // Deterministic spread: hash the pair over the candidates.
+  const std::size_t idx =
+      (static_cast<std::size_t>(src) * 31 + dst) % hosts.size();
+  return hosts[idx];
+}
+
+namespace {
+
+/// Dijkstra state: a switch plus the up*/down* phase. Phase 0: no down
+/// traversal yet (up and down both legal). Phase 1: a down traversal
+/// happened (only down legal until an ITB resets the phase).
+struct State {
+  std::uint16_t sw;
+  std::uint8_t phase;
+};
+
+struct Cost {
+  std::uint32_t hops = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t itbs = std::numeric_limits<std::uint32_t>::max();
+  friend auto operator<=>(const Cost&, const Cost&) = default;
+};
+
+struct Pred {
+  std::uint16_t sw = 0xFFFF;
+  std::uint8_t phase = 0;
+  /// Index into adj_[pred.sw] of the hop taken, or -1 for an ITB reset
+  /// (same switch, phase 1 -> 0).
+  int hop = -2;  // -2 = unset / source
+};
+
+}  // namespace
+
+HostPath Router::search(std::uint16_t src_host, std::uint16_t dst_host,
+                        bool restrict_updown, bool allow_itb) const {
+  const auto& topo = updown_->topology();
+  const auto src_up = topo.host_uplink(src_host);
+  const auto dst_up = topo.host_uplink(dst_host);
+  const auto ss = src_up.node.index;
+  const auto sd = dst_up.node.index;
+  const auto n = topo.switch_count();
+
+  // dist[sw][phase]; with restrictions off everything stays in phase 0.
+  std::vector<std::array<Cost, 2>> dist(n);
+  std::vector<std::array<Pred, 2>> pred(n);
+
+  using QEntry = std::pair<Cost, State>;
+  auto cmp = [](const QEntry& a, const QEntry& b) { return a.first > b.first; };
+  std::priority_queue<QEntry, std::vector<QEntry>, decltype(cmp)> queue(cmp);
+
+  dist[ss][0] = Cost{0, 0};
+  pred[ss][0] = Pred{0xFFFF, 0, -2};
+  queue.push({Cost{0, 0}, State{ss, 0}});
+
+  while (!queue.empty()) {
+    auto [cost, st] = queue.top();
+    queue.pop();
+    if (cost != dist[st.sw][st.phase]) continue;  // stale entry
+
+    for (std::size_t hi = 0; hi < adj_[st.sw].size(); ++hi) {
+      const Hop& h = adj_[st.sw][hi];
+      std::uint8_t next_phase;
+      if (!restrict_updown) {
+        next_phase = 0;
+      } else if (h.up) {
+        if (st.phase == 1) continue;  // down -> up forbidden
+        next_phase = 0;
+      } else {
+        next_phase = 1;
+      }
+      const Cost next{cost.hops + 1, cost.itbs};
+      if (next < dist[h.to_switch][next_phase]) {
+        dist[h.to_switch][next_phase] = next;
+        pred[h.to_switch][next_phase] =
+            Pred{st.sw, st.phase, static_cast<int>(hi)};
+        queue.push({next, State{h.to_switch, next_phase}});
+      }
+    }
+
+    // ITB reset: eject at a host on this switch, re-inject in phase 0.
+    if (allow_itb && restrict_updown && st.phase == 1 &&
+        !itb_hosts_[st.sw].empty()) {
+      const Cost next{cost.hops, cost.itbs + 1};
+      if (next < dist[st.sw][0]) {
+        dist[st.sw][0] = next;
+        pred[st.sw][0] = Pred{st.sw, 1, -1};
+        queue.push({next, State{st.sw, 0}});
+      }
+    }
+  }
+
+  const std::uint8_t best_phase = dist[sd][0] <= dist[sd][1] ? 0 : 1;
+  if (dist[sd][best_phase].hops == std::numeric_limits<std::uint32_t>::max())
+    throw std::logic_error("no route between hosts (disconnected?)");
+
+  // Reconstruct the (switch, action) chain back to front.
+  struct Step {
+    std::uint16_t sw;
+    int hop;  // adj index, or -1 for ITB reset at sw
+  };
+  std::vector<Step> steps;
+  State cur{sd, best_phase};
+  while (!(cur.sw == ss && cur.phase == 0 && pred[cur.sw][cur.phase].hop == -2)) {
+    const Pred& p = pred[cur.sw][cur.phase];
+    if (p.hop == -2) throw std::logic_error("route reconstruction failed");
+    steps.push_back(Step{p.sw, p.hop});
+    cur = State{p.sw, p.phase};
+  }
+  std::reverse(steps.begin(), steps.end());
+
+  // Emit route-byte segments and channel list.
+  HostPath path;
+  path.src_host = src_host;
+  path.dst_host = dst_host;
+  path.segments.emplace_back();
+  for (const Step& st : steps) {
+    if (st.hop == -1) {
+      // Ejection: current segment ends with the port to the in-transit
+      // host; the next segment resumes at the same switch.
+      const ItbCandidate& itb = pick_itb(st.sw, src_host, dst_host);
+      path.segments.back().push_back(itb.port);
+      path.in_transit_hosts.push_back(itb.host);
+      path.segments.emplace_back();
+      continue;
+    }
+    const Hop& h = adj_[st.sw][static_cast<std::size_t>(st.hop)];
+    path.segments.back().push_back(h.out_port);
+    const auto& l = topo.link(h.link);
+    const bool fwd = l.a.node == topo::switch_id(st.sw) && l.a.port == h.out_port;
+    path.trunk_channels.push_back(topo::Channel{h.link, fwd});
+  }
+  path.segments.back().push_back(dst_up.port);
+  return path;
+}
+
+HostPath Router::updown_route(std::uint16_t src, std::uint16_t dst) const {
+  return search(src, dst, /*restrict=*/true, /*allow_itb=*/false);
+}
+
+HostPath Router::minimal_route(std::uint16_t src, std::uint16_t dst) const {
+  return search(src, dst, /*restrict=*/false, /*allow_itb=*/false);
+}
+
+HostPath Router::itb_route(std::uint16_t src, std::uint16_t dst) const {
+  auto itb = search(src, dst, /*restrict=*/true, /*allow_itb=*/true);
+  // The phase-reset search only legalises paths at switches that have
+  // hosts, so it can come out longer than the unrestricted minimum when
+  // some bare switch sits on every minimal path; in that case prefer
+  // whichever legal route is shorter (ITB path can never be longer than
+  // the plain up*/down* one because the latter is in its search space).
+  return itb;
+}
+
+std::size_t Router::minimal_distance(std::uint16_t src, std::uint16_t dst) const {
+  return minimal_route(src, dst).trunk_hops();
+}
+
+bool Router::is_valid_updown(const std::vector<topo::Channel>& trunks) const {
+  bool went_down = false;
+  for (const auto& c : trunks) {
+    const auto from = updown_->topology().channel_source(c).node.index;
+    const bool up = updown_->is_up_traversal(c.link, from);
+    if (up && went_down) return false;
+    if (!up) went_down = true;
+  }
+  return true;
+}
+
+std::string describe(const HostPath& path, const topo::Topology& topo) {
+  std::string out = "h" + std::to_string(path.src_host);
+  std::size_t seg = 0;
+  // Re-derive the switch sequence from the segments by walking the route
+  // bytes from the source uplink switch.
+  auto cur = topo.host_uplink(path.src_host);
+  for (seg = 0; seg < path.segments.size(); ++seg) {
+    if (seg > 0) {
+      out += " =ITB(h" + std::to_string(path.in_transit_hosts[seg - 1]) + ")=>";
+      cur = topo.host_uplink(path.in_transit_hosts[seg - 1]);
+    }
+    for (auto port : path.segments[seg]) {
+      out += " -> s" + std::to_string(cur.node.index);
+      auto peer = topo.peer(cur.node, port);
+      if (!peer) {
+        out += " -> <dangling p" + std::to_string(port) + ">";
+        return out;
+      }
+      cur = *peer;
+    }
+  }
+  out += " -> " + topo::to_string(cur.node);
+  return out;
+}
+
+}  // namespace itb::routing

@@ -1,0 +1,117 @@
+// Host-to-host route computation.
+//
+// Three route families:
+//   * up*/down* — shortest path whose switch-switch traversals form the
+//     pattern up* down* (no up after a down). What stock Myrinet/GM uses.
+//   * minimal  — unrestricted shortest path; may be up*/down*-invalid.
+//   * ITB      — minimal path split into valid up*/down* sub-paths by
+//     ejecting/re-injecting at in-transit hosts (the paper's mechanism).
+//
+// A HostPath carries both the structural description (switch sequence,
+// in-transit hosts) and the wire encoding (route-byte segments, Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "itb/packet/format.hpp"
+#include "itb/routing/updown.hpp"
+#include "itb/topo/topology.hpp"
+
+namespace itb::routing {
+
+/// A computed route between two hosts.
+struct HostPath {
+  std::uint16_t src_host = 0;
+  std::uint16_t dst_host = 0;
+
+  /// Route-byte segments: one per injection. segments[0] is stamped by the
+  /// source NIC; segments[i>0] follow the i-th ITB tag (Fig. 3b).
+  std::vector<packet::Route> segments;
+
+  /// In-transit hosts, one per segment boundary (empty for plain routes).
+  std::vector<std::uint16_t> in_transit_hosts;
+
+  /// Switch-switch links traversed, in order (ejections do not interrupt
+  /// the sequence; used for hop counting and deadlock analysis).
+  std::vector<topo::Channel> trunk_channels;
+
+  /// Total switch traversals (each ITB revisit counts; equals the sum of
+  /// segment lengths).
+  std::size_t switch_traversals() const;
+
+  /// Number of switch-switch links used (the paper's path-length metric).
+  std::size_t trunk_hops() const { return trunk_channels.size(); }
+
+  std::size_t itb_count() const { return in_transit_hosts.size(); }
+};
+
+/// Which host on a switch serves as the in-transit host when several are
+/// available. kLowestIndex mirrors the simplest mapper; kSpread hashes the
+/// (src, dst) pair over the candidates so the forwarding load (and the NIC
+/// CPU cost it carries) is distributed across the switch's hosts.
+enum class ItbHostSelection : std::uint8_t { kLowestIndex, kSpread };
+
+/// Route computation over one topology + one up*/down* orientation.
+class Router {
+ public:
+  explicit Router(const UpDown& updown,
+                  ItbHostSelection selection = ItbHostSelection::kLowestIndex);
+
+  /// Shortest valid up*/down* route. Always exists in a connected network.
+  HostPath updown_route(std::uint16_t src_host, std::uint16_t dst_host) const;
+
+  /// Unrestricted shortest route (may be invalid under up*/down*); useful
+  /// for analysis and as the skeleton for ITB routes.
+  HostPath minimal_route(std::uint16_t src_host, std::uint16_t dst_host) const;
+
+  /// Minimal route split into valid up*/down* segments with ITBs. Falls
+  /// back to updown_route when no minimal path can be legalised (e.g. an
+  /// ITB would be needed at a switch with no attached host anywhere on any
+  /// minimal path).
+  HostPath itb_route(std::uint16_t src_host, std::uint16_t dst_host) const;
+
+  /// Trunk-hop distance of the unrestricted shortest path.
+  std::size_t minimal_distance(std::uint16_t src_host,
+                               std::uint16_t dst_host) const;
+
+  /// True if the switch-link traversal sequence obeys up* down*.
+  bool is_valid_updown(const std::vector<topo::Channel>& trunks) const;
+
+  const UpDown& updown() const { return *updown_; }
+  const topo::Topology& topology() const { return updown_->topology(); }
+
+ private:
+  const UpDown* updown_;
+
+  struct Hop {
+    topo::LinkId link;
+    std::uint16_t to_switch;
+    std::uint8_t out_port;  // port on the *from* switch
+    bool up;
+  };
+  /// Adjacency: for each switch, its usable outgoing trunk hops.
+  std::vector<std::vector<Hop>> adj_;
+  ItbHostSelection selection_;
+  struct ItbCandidate {
+    std::uint16_t host;
+    std::uint8_t port;  // switch port leading to it
+  };
+  /// For each switch, its attached hosts usable as in-transit hosts,
+  /// sorted by host index.
+  std::vector<std::vector<ItbCandidate>> itb_hosts_;
+
+  /// Pick the in-transit host on `sw` for the (src, dst) pair.
+  const ItbCandidate& pick_itb(std::uint16_t sw, std::uint16_t src,
+                               std::uint16_t dst) const;
+
+  HostPath search(std::uint16_t src_host, std::uint16_t dst_host,
+                  bool restrict_updown, bool allow_itb) const;
+};
+
+/// Render a path like "h0 -> s0 -> s1 =ITB(h3)=> s1 -> s2 -> h5".
+std::string describe(const HostPath& path, const topo::Topology& topo);
+
+}  // namespace itb::routing

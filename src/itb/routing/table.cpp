@@ -1,0 +1,81 @@
+#include "itb/routing/table.hpp"
+
+#include <stdexcept>
+
+namespace itb::routing {
+
+const char* to_string(Policy p) {
+  return p == Policy::kUpDown ? "up*/down*" : "UD+ITB";
+}
+
+RouteTable::RouteTable(const Router& router, Policy policy)
+    : policy_(policy), hosts_(router.topology().host_count()) {
+  routes_.reserve(hosts_ * hosts_);
+  for (std::uint16_t s = 0; s < hosts_; ++s) {
+    for (std::uint16_t d = 0; d < hosts_; ++d) {
+      if (s == d) {
+        routes_.emplace_back();  // unused diagonal slot
+        continue;
+      }
+      routes_.push_back(policy == Policy::kUpDown ? router.updown_route(s, d)
+                                                  : router.itb_route(s, d));
+    }
+  }
+}
+
+std::size_t RouteTable::index(std::uint16_t src, std::uint16_t dst) const {
+  if (src >= hosts_ || dst >= hosts_ || src == dst)
+    throw std::out_of_range("bad host pair");
+  return static_cast<std::size_t>(src) * hosts_ + dst;
+}
+
+const HostPath& RouteTable::route(std::uint16_t src, std::uint16_t dst) const {
+  return routes_[index(src, dst)];
+}
+
+double RouteTable::average_trunk_hops() const {
+  std::size_t total = 0, pairs = 0;
+  for (std::uint16_t s = 0; s < hosts_; ++s)
+    for (std::uint16_t d = 0; d < hosts_; ++d) {
+      if (s == d) continue;
+      total += route(s, d).trunk_hops();
+      ++pairs;
+    }
+  return pairs ? static_cast<double>(total) / static_cast<double>(pairs) : 0.0;
+}
+
+double RouteTable::minimal_fraction(const Router& router) const {
+  std::size_t minimal = 0, pairs = 0;
+  for (std::uint16_t s = 0; s < hosts_; ++s)
+    for (std::uint16_t d = 0; d < hosts_; ++d) {
+      if (s == d) continue;
+      if (route(s, d).trunk_hops() == router.minimal_distance(s, d)) ++minimal;
+      ++pairs;
+    }
+  return pairs ? static_cast<double>(minimal) / static_cast<double>(pairs) : 1.0;
+}
+
+double RouteTable::average_itbs() const {
+  std::size_t total = 0, pairs = 0;
+  for (std::uint16_t s = 0; s < hosts_; ++s)
+    for (std::uint16_t d = 0; d < hosts_; ++d) {
+      if (s == d) continue;
+      total += route(s, d).itb_count();
+      ++pairs;
+    }
+  return pairs ? static_cast<double>(total) / static_cast<double>(pairs) : 0.0;
+}
+
+std::vector<std::uint32_t> RouteTable::channel_usage(
+    const topo::Topology& topo) const {
+  std::vector<std::uint32_t> usage(topo.link_count() * 2, 0);
+  for (std::uint16_t s = 0; s < hosts_; ++s)
+    for (std::uint16_t d = 0; d < hosts_; ++d) {
+      if (s == d) continue;
+      for (const auto& c : route(s, d).trunk_channels)
+        ++usage[2 * c.link + (c.forward ? 0 : 1)];
+    }
+  return usage;
+}
+
+}  // namespace itb::routing

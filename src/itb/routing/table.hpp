@@ -1,0 +1,56 @@
+// All-pairs route tables.
+//
+// The Myrinet mapper computes a route from every host to every other host
+// and downloads the table into each NIC's SRAM; the MCP stamps the route
+// into the header of every outgoing packet (§4). A RouteTable is that
+// product for one routing policy, plus aggregate statistics the motivation
+// benches report (path length, link utilisation balance).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "itb/routing/paths.hpp"
+
+namespace itb::routing {
+
+enum class Policy : std::uint8_t {
+  kUpDown,  // stock GM routing
+  kItb,     // minimal routing legalised with in-transit buffers
+};
+
+const char* to_string(Policy p);
+
+class RouteTable {
+ public:
+  /// Compute routes for every ordered host pair under `policy`.
+  RouteTable(const Router& router, Policy policy);
+
+  Policy policy() const { return policy_; }
+  std::size_t host_count() const { return hosts_; }
+
+  const HostPath& route(std::uint16_t src, std::uint16_t dst) const;
+
+  /// Mean switch-switch hops over all pairs (src != dst).
+  double average_trunk_hops() const;
+
+  /// Fraction of pairs routed minimally.
+  double minimal_fraction(const Router& router) const;
+
+  /// Mean ITBs per route (0 for kUpDown).
+  double average_itbs() const;
+
+  /// Per-directed-channel usage count over all routes; index by
+  /// 2*link + (forward ? 0 : 1). The motivation benches use the spread of
+  /// this vector to show up*/down*'s root congestion.
+  std::vector<std::uint32_t> channel_usage(const topo::Topology& topo) const;
+
+ private:
+  Policy policy_;
+  std::size_t hosts_;
+  std::vector<HostPath> routes_;  // row-major [src * hosts_ + dst]
+
+  std::size_t index(std::uint16_t src, std::uint16_t dst) const;
+};
+
+}  // namespace itb::routing

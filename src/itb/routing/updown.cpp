@@ -1,0 +1,151 @@
+#include "itb/routing/updown.hpp"
+
+#include <array>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace itb::routing {
+
+namespace {
+constexpr std::uint16_t kUnoriented = 0xFFFF;
+constexpr unsigned kUnreached = std::numeric_limits<unsigned>::max();
+}  // namespace
+
+UpDown::UpDown(const topo::Topology& topo, std::uint16_t root)
+    : topo_(&topo), root_(root) {
+  const auto n = topo.switch_count();
+  if (root >= n) throw std::invalid_argument("root switch out of range");
+  depths_.assign(n, kUnreached);
+  up_end_.assign(topo.link_count(), kUnoriented);
+
+  // Breadth-first spanning tree over switches. Neighbours are visited in
+  // link-id order, which makes the tree deterministic.
+  std::queue<std::uint16_t> frontier;
+  depths_[root] = 0;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const auto sw = frontier.front();
+    frontier.pop();
+    for (auto lid : topo.links_of(topo::switch_id(sw))) {
+      const auto& l = topo.link(lid);
+      if (l.a.node.kind != topo::NodeKind::kSwitch ||
+          l.b.node.kind != topo::NodeKind::kSwitch)
+        continue;
+      if (l.a.node == l.b.node) continue;  // self-cable
+      const std::uint16_t other =
+          (l.a.node.index == sw) ? l.b.node.index : l.a.node.index;
+      if (depths_[other] == kUnreached) {
+        depths_[other] = depths_[sw] + 1;
+        frontier.push(other);
+      }
+    }
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    if (depths_[s] == kUnreached)
+      throw std::invalid_argument("switch graph is not connected");
+  }
+
+  // Orient every switch-switch link by the two rules.
+  for (topo::LinkId lid = 0; lid < topo.link_count(); ++lid) {
+    const auto& l = topo.link(lid);
+    if (l.a.node.kind != topo::NodeKind::kSwitch ||
+        l.b.node.kind != topo::NodeKind::kSwitch)
+      continue;
+    if (l.a.node == l.b.node) continue;
+    const auto sa = l.a.node.index;
+    const auto sb = l.b.node.index;
+    if (depths_[sa] != depths_[sb]) {
+      up_end_[lid] = depths_[sa] < depths_[sb] ? sa : sb;
+    } else {
+      up_end_[lid] = std::min(sa, sb);
+    }
+  }
+}
+
+bool UpDown::is_up_traversal(topo::LinkId link, std::uint16_t from) const {
+  const auto up = up_end_.at(link);
+  if (up == kUnoriented)
+    throw std::invalid_argument("link has no up/down orientation");
+  // Moving toward the up end is an up traversal; we are at `from`, so the
+  // traversal is "up" exactly when `from` is NOT the up end.
+  return up != from;
+}
+
+std::optional<std::uint16_t> UpDown::up_end(topo::LinkId link) const {
+  const auto up = up_end_.at(link);
+  if (up == kUnoriented) return std::nullopt;
+  return up;
+}
+
+namespace {
+
+/// Shortest legal up*/down* distances from `src` to every switch under a
+/// given orientation: BFS over (switch, phase) states, phase 1 meaning a
+/// down traversal already happened.
+std::vector<unsigned> updown_distances(const UpDown& ud, std::uint16_t src) {
+  const auto& topo = ud.topology();
+  const auto n = topo.switch_count();
+  std::vector<std::array<unsigned, 2>> dist(
+      n, {std::numeric_limits<unsigned>::max(),
+          std::numeric_limits<unsigned>::max()});
+  std::queue<std::pair<std::uint16_t, std::uint8_t>> frontier;
+  dist[src][0] = 0;
+  frontier.push({src, 0});
+  while (!frontier.empty()) {
+    auto [sw, phase] = frontier.front();
+    frontier.pop();
+    const unsigned d = dist[sw][phase];
+    for (auto lid : topo.links_of(topo::switch_id(sw))) {
+      const auto& l = topo.link(lid);
+      if (l.a.node.kind != topo::NodeKind::kSwitch ||
+          l.b.node.kind != topo::NodeKind::kSwitch || l.a.node == l.b.node)
+        continue;
+      const std::uint16_t other =
+          l.a.node.index == sw ? l.b.node.index : l.a.node.index;
+      const bool up = ud.is_up_traversal(lid, sw);
+      if (up && phase == 1) continue;
+      const std::uint8_t next_phase = up ? 0 : 1;
+      if (d + 1 < dist[other][next_phase]) {
+        dist[other][next_phase] = d + 1;
+        frontier.push({other, next_phase});
+      }
+    }
+  }
+  std::vector<unsigned> best(n);
+  for (std::size_t s = 0; s < n; ++s) best[s] = std::min(dist[s][0], dist[s][1]);
+  return best;
+}
+
+}  // namespace
+
+std::uint16_t select_best_root(const topo::Topology& topo) {
+  const auto n = topo.switch_count();
+  if (n == 0) throw std::invalid_argument("no switches");
+
+  // Hosts per switch: pairs between host-less switches carry no traffic.
+  std::vector<unsigned> hosts(n, 0);
+  for (std::uint16_t h = 0; h < topo.host_count(); ++h)
+    ++hosts[topo.host_uplink(h).node.index];
+
+  std::uint16_t best_root = 0;
+  std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint16_t root = 0; root < n; ++root) {
+    UpDown ud(topo, root);
+    std::uint64_t cost = 0;
+    for (std::uint16_t s = 0; s < n; ++s) {
+      if (hosts[s] == 0) continue;
+      auto dist = updown_distances(ud, s);
+      for (std::uint16_t d = 0; d < n; ++d)
+        cost += static_cast<std::uint64_t>(hosts[s]) * hosts[d] * dist[d];
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_root = root;
+    }
+  }
+  return best_root;
+}
+
+}  // namespace itb::routing

@@ -1,0 +1,62 @@
+// up*/down* link orientation (Autonet/Myrinet routing, paper §1).
+//
+// A breadth-first spanning tree is computed over the switch graph; the "up"
+// end of every switch-switch link is (1) the end closer to the root, or
+// (2) the end with the lower switch ID when both ends are at the same tree
+// level. Every cycle then contains at least one up and one down link, and
+// forbidding down->up transitions breaks all cyclic channel dependencies.
+//
+// Host links and switch self-cables carry no orientation: hosts are leaves
+// (they cannot appear mid-path without an ITB ejection) and self-cables are
+// excluded from route search.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "itb/topo/topology.hpp"
+
+namespace itb::routing {
+
+/// Orientation of all switch-switch links of one topology.
+class UpDown {
+ public:
+  /// Compute the orientation. `root` defaults to switch 0 (the Myrinet
+  /// mapper picks a deterministic root; we follow the lowest-ID convention).
+  explicit UpDown(const topo::Topology& topo, std::uint16_t root = 0);
+
+  std::uint16_t root() const { return root_; }
+
+  /// BFS tree depth of a switch.
+  unsigned depth(std::uint16_t sw) const { return depths_.at(sw); }
+
+  /// True if traversing `link` out of switch `from` moves in the up
+  /// direction (toward the link's up end). Only valid for switch-switch,
+  /// non-self links.
+  bool is_up_traversal(topo::LinkId link, std::uint16_t from) const;
+
+  /// The switch at the up end of a switch-switch link; nullopt for host
+  /// links and self-cables (unoriented).
+  std::optional<std::uint16_t> up_end(topo::LinkId link) const;
+
+  const topo::Topology& topology() const { return *topo_; }
+
+ private:
+  const topo::Topology* topo_;
+  std::uint16_t root_;
+  std::vector<unsigned> depths_;
+  /// Per link: up-end switch index, or 0xFFFF for unoriented links.
+  std::vector<std::uint16_t> up_end_;
+};
+
+/// Root selection matters: a poorly placed spanning-tree root lengthens
+/// up*/down* paths and worsens the congestion around it (the follow-up work
+/// this paper cites combines ITBs with "optimized routing schemes", of
+/// which root optimisation is the simplest). Returns the switch whose
+/// orientation minimises the host-weighted sum of all-pairs shortest legal
+/// up*/down* distances (exhaustive over candidate roots; ties break toward
+/// the lower switch id).
+std::uint16_t select_best_root(const topo::Topology& topo);
+
+}  // namespace itb::routing

@@ -1,0 +1,83 @@
+// Discrete-event engine.
+//
+// A single EventQueue drives every model in the simulator: switches, links,
+// DMA engines and the MCP interpreter all schedule closures at absolute
+// simulated times. Events at equal timestamps fire in scheduling order
+// (FIFO), which keeps runs deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "itb/sim/time.hpp"
+
+namespace itb::sim {
+
+/// Opaque handle used to cancel a scheduled event.
+struct EventId {
+  std::uint64_t value = 0;
+  friend bool operator==(EventId, EventId) = default;
+};
+
+/// Priority queue of timed closures with a deterministic tie-break.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time (time of the most recently fired event).
+  Time now() const { return now_; }
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return live_.size(); }
+
+  bool empty() const { return pending() == 0; }
+
+  /// Schedule `action` to run at absolute time `at` (must be >= now()).
+  EventId schedule_at(Time at, Action action);
+
+  /// Schedule `action` to run `delay` ns from now.
+  EventId schedule_in(Duration delay, Action action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Cancel a previously scheduled event. Returns false if it already fired
+  /// or was already cancelled.
+  bool cancel(EventId id);
+
+  /// Fire the next event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or `until` is reached (events at exactly
+  /// `until` still fire). Returns the number of events fired.
+  std::uint64_t run(Time until = INT64_MAX);
+
+  /// Run at most `max_events` events. Returns the number fired.
+  std::uint64_t run_events(std::uint64_t max_events);
+
+  /// Drop every pending event and reset the clock to zero.
+  void reset();
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;  // FIFO tie-break and cancellation key
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Seqs that are scheduled and not cancelled. Cancellation is lazy: the
+  /// heap entry stays and is skipped when it surfaces.
+  std::unordered_set<std::uint64_t> live_;
+};
+
+}  // namespace itb::sim

@@ -1,0 +1,45 @@
+// Deterministic random number generation.
+//
+// Every stochastic choice in the simulator (workload arrivals, destination
+// selection, topology generation) draws from an Rng seeded explicitly, so a
+// run is reproducible from its seed alone. The generator is SplitMix64 /
+// xoshiro256** — tiny, fast, and free of the std::mt19937 cross-platform
+// streaming pitfalls.
+#pragma once
+
+#include <cstdint>
+
+namespace itb::sim {
+
+/// xoshiro256** seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias. bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Fork an independent stream (for per-node generators that must not
+  /// perturb each other's sequences when one node draws more than another).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace itb::sim

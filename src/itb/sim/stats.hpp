@@ -1,0 +1,84 @@
+// Online statistics accumulators used by every measurement harness.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace itb::sim {
+
+/// Running mean/min/max/variance (Welford) without storing samples.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void clear();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stats that also keep samples so percentiles can be reported.
+class SampledStats {
+ public:
+  void add(double x) {
+    running_.add(x);
+    samples_.push_back(x);
+  }
+  void clear() {
+    running_.clear();
+    samples_.clear();
+  }
+
+  const RunningStats& running() const { return running_; }
+  std::size_t count() const { return running_.count(); }
+  double mean() const { return running_.mean(); }
+  double min() const { return running_.min(); }
+  double max() const { return running_.max(); }
+  double stddev() const { return running_.stddev(); }
+
+  /// Percentile in [0, 100] by nearest-rank on a sorted copy.
+  double percentile(double p) const;
+
+ private:
+  RunningStats running_;
+  std::vector<double> samples_;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets. Used for latency distributions in load benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  double bucket_lo(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+
+  /// One-line textual rendering, useful in example programs.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace itb::sim

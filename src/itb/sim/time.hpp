@@ -1,0 +1,33 @@
+// Simulated-time primitives.
+//
+// The whole simulator runs on an integer nanosecond clock. Nanoseconds are
+// fine-grained enough to express LANai cycles (30 ns at 33 MHz) and link
+// byte times (6.25 ns/byte rounds to picosecond-free fixed point by scaling
+// byte counts, see bytes_time()).
+#pragma once
+
+#include <cstdint>
+
+namespace itb::sim {
+
+/// Simulated time in nanoseconds.
+using Time = std::int64_t;
+
+/// A duration in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Time kTimeZero = 0;
+inline constexpr Duration kNs = 1;
+inline constexpr Duration kUs = 1000;
+inline constexpr Duration kMs = 1000 * 1000;
+
+/// Transmission time of `bytes` at `ns_per_256bytes / 256` ns per byte.
+///
+/// Link rates rarely divide 1 ns evenly (Myrinet: 6.25 ns/byte), so rates are
+/// expressed as nanoseconds per 256 bytes and the division happens once per
+/// transfer, keeping the clock integral without cumulative rounding error.
+constexpr Duration scaled_bytes_time(std::int64_t bytes, std::int64_t ns_per_256bytes) {
+  return (bytes * ns_per_256bytes + 255) / 256;
+}
+
+}  // namespace itb::sim

@@ -1,0 +1,25 @@
+#include "itb/sim/trace.hpp"
+
+namespace itb::sim {
+
+const char* to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kLink: return "link";
+    case TraceCategory::kSwitch: return "switch";
+    case TraceCategory::kNic: return "nic";
+    case TraceCategory::kMcp: return "mcp";
+    case TraceCategory::kDma: return "dma";
+    case TraceCategory::kGm: return "gm";
+    case TraceCategory::kMapper: return "mapper";
+    case TraceCategory::kWorkload: return "workload";
+  }
+  return "?";
+}
+
+Tracer::Sink Tracer::string_sink(std::string& out) {
+  return [&out](Time t, TraceCategory c, const std::string& msg) {
+    out += std::to_string(t) + " [" + to_string(c) + "] " + msg + "\n";
+  };
+}
+
+}  // namespace itb::sim

@@ -1,0 +1,50 @@
+// Lightweight event tracing.
+//
+// Models call TRACE-style hooks through a Tracer that is off by default;
+// tests and examples can attach a sink to see packet-level activity without
+// paying any formatting cost in benchmark runs.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "itb/sim/time.hpp"
+
+namespace itb::sim {
+
+enum class TraceCategory {
+  kLink,
+  kSwitch,
+  kNic,
+  kMcp,
+  kDma,
+  kGm,
+  kMapper,
+  kWorkload,
+};
+
+const char* to_string(TraceCategory c);
+
+/// Fan-out point for trace records. Formatting is deferred: the message is
+/// produced by a callable only when a sink is attached.
+class Tracer {
+ public:
+  using Sink = std::function<void(Time, TraceCategory, const std::string&)>;
+
+  void attach(Sink sink) { sink_ = std::move(sink); }
+  void detach() { sink_ = nullptr; }
+  bool enabled() const { return static_cast<bool>(sink_); }
+
+  template <typename MessageFn>
+  void emit(Time t, TraceCategory c, MessageFn&& fn) const {
+    if (sink_) sink_(t, c, fn());
+  }
+
+  /// A sink that appends "time [category] message" lines to `out`.
+  static Sink string_sink(std::string& out);
+
+ private:
+  Sink sink_;
+};
+
+}  // namespace itb::sim

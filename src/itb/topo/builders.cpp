@@ -1,0 +1,204 @@
+#include "itb/topo/builders.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace itb::topo {
+
+Topology make_paper_testbed(TestbedIds* ids) {
+  Topology t;
+  t.add_switch(8, "switch1");  // s0: ports 0..3 LAN, 4..7 SAN
+  t.add_switch(8, "switch2");  // s1: ports 0..3 LAN, 4..7 SAN
+  t.add_host("host1");          // h0, M2L LAN NIC
+  t.add_host("in-transit");     // h1
+  t.add_host("host2");          // h2, M2M SAN NIC
+
+  // Host links. host1 is the only LAN attachment; the in-transit host and
+  // host2 sit on SAN ports so the Fig. 8 UD and UD+ITB paths cross an equal
+  // number of LAN ports (exactly one: host1's entry) — the paper requires
+  // both paths to traverse the same kinds of ports.
+  t.attach_host(0, 0, 0, PortKind::kLan);  // host1      -> s0 port 0 (LAN)
+  t.attach_host(1, 0, 4, PortKind::kSan);  // in-transit -> s0 port 4 (SAN)
+  t.attach_host(2, 1, 4, PortKind::kSan);  // host2      -> s1 port 4 (SAN)
+
+  // Two inter-switch trunks plus a loopback cable on switch 2, which lets an
+  // up*/down* route revisit switch 2 ("a loop in switch 2") to equalise the
+  // switch-traversal count with the ITB route.
+  t.connect_switches(0, 5, 1, 5, PortKind::kSan);             // trunk A
+  t.connect_switches(0, 6, 1, 6, PortKind::kSan);             // trunk B
+  t.connect({switch_id(1), 7}, {switch_id(1), 3}, PortKind::kSan);  // loop
+
+  if (ids) *ids = TestbedIds{};
+  return t;
+}
+
+Topology make_fig1_network() {
+  Topology t;
+  for (int i = 0; i < 8; ++i) t.add_switch(8);
+  for (std::uint16_t i = 0; i < 8; ++i) {
+    t.add_host("host@" + std::to_string(i));
+  }
+  // Trunks chosen so the breadth-first spanning tree rooted at switch 0
+  // yields depths 0:{0} 1:{1,2} 2:{3,4,5,6} 3:{7}, making the minimal path
+  // 4 -> 6 -> 1 a down->up transition at switch 6 (forbidden by up*/down*)
+  // while the shortest legal route 4 -> 2 -> 0 -> 1 is one hop longer.
+  const std::pair<int, int> trunks[] = {
+      {0, 1}, {0, 2}, {1, 3}, {1, 6}, {2, 4}, {2, 5}, {4, 6}, {3, 7}, {5, 7},
+  };
+  std::vector<std::uint8_t> next_port(8, 0);
+  for (auto [a, b] : trunks) {
+    t.connect_switches(static_cast<std::uint16_t>(a), next_port[a]++,
+                       static_cast<std::uint16_t>(b), next_port[b]++,
+                       PortKind::kSan);
+  }
+  for (std::uint16_t i = 0; i < 8; ++i) {
+    t.attach_host(i, i, next_port[i]++, PortKind::kLan);
+  }
+  return t;
+}
+
+Topology make_random_irregular(const IrregularSpec& spec, sim::Rng& rng) {
+  if (spec.hosts_per_switch >= spec.ports)
+    throw std::invalid_argument("no ports left for trunks");
+  Topology t;
+  for (std::uint16_t s = 0; s < spec.switches; ++s) t.add_switch(spec.ports);
+  std::vector<std::uint8_t> next_port(spec.switches, 0);
+
+  // Hosts first: `hosts_per_switch` per switch on the low ports.
+  for (std::uint16_t s = 0; s < spec.switches; ++s) {
+    for (std::uint8_t h = 0; h < spec.hosts_per_switch; ++h) {
+      auto id = t.add_host();
+      t.attach_host(id.index, s, next_port[s]++, spec.host_link_kind);
+    }
+  }
+
+  // A random spanning tree guarantees connectivity: attach each switch i>0
+  // to a uniformly chosen earlier switch with free ports.
+  auto has_free = [&](std::uint16_t s) { return next_port[s] < spec.ports; };
+  for (std::uint16_t s = 1; s < spec.switches; ++s) {
+    std::vector<std::uint16_t> candidates;
+    for (std::uint16_t p = 0; p < s; ++p)
+      if (has_free(p)) candidates.push_back(p);
+    if (candidates.empty())
+      throw std::invalid_argument("not enough trunk ports for connectivity");
+    auto pick = candidates[rng.next_below(candidates.size())];
+    t.connect_switches(s, next_port[s]++, pick, next_port[pick]++,
+                       spec.trunk_kind);
+  }
+
+  // Fill remaining ports with random extra trunks (the "irregular" part).
+  // `open` holds one entry per still-free port; next_port[] stays the
+  // per-switch cursor of the next free port number.
+  std::vector<std::uint16_t> open;
+  for (std::uint16_t s = 0; s < spec.switches; ++s)
+    for (std::uint8_t p = next_port[s]; p < spec.ports; ++p) open.push_back(s);
+
+  while (open.size() >= 2) {
+    const auto i = rng.next_below(open.size());
+    std::uint16_t a = open[i];
+    open.erase(open.begin() + static_cast<std::ptrdiff_t>(i));
+    // Pick a partner on a different switch; stop when only one switch has
+    // free ports left (those ports simply stay unused).
+    std::vector<std::size_t> partners;
+    for (std::size_t j = 0; j < open.size(); ++j)
+      if (open[j] != a) partners.push_back(j);
+    if (partners.empty()) break;
+    const auto j = partners[rng.next_below(partners.size())];
+    std::uint16_t b = open[j];
+    open.erase(open.begin() + static_cast<std::ptrdiff_t>(j));
+    t.connect_switches(a, next_port[a]++, b, next_port[b]++, spec.trunk_kind);
+  }
+  return t;
+}
+
+Topology make_ring(std::uint16_t switches, std::uint8_t hosts_per_switch) {
+  if (switches < 3) throw std::invalid_argument("a ring needs >= 3 switches");
+  Topology t;
+  for (std::uint16_t s = 0; s < switches; ++s) t.add_switch(8);
+  std::vector<std::uint8_t> next_port(switches, 0);
+  for (std::uint16_t s = 0; s < switches; ++s) {
+    const auto n = static_cast<std::uint16_t>((s + 1) % switches);
+    t.connect_switches(s, next_port[s]++, n, next_port[n]++, PortKind::kSan);
+  }
+  for (std::uint16_t s = 0; s < switches; ++s)
+    for (std::uint8_t h = 0; h < hosts_per_switch; ++h) {
+      auto id = t.add_host();
+      t.attach_host(id.index, s, next_port[s]++, PortKind::kLan);
+    }
+  return t;
+}
+
+Topology make_mesh(std::uint16_t rows, std::uint16_t cols,
+                   std::uint8_t hosts_per_switch, std::uint8_t ports) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("empty mesh");
+  if (4 + hosts_per_switch > ports)
+    throw std::invalid_argument("mesh needs 4 trunk ports plus host ports");
+  Topology t;
+  const auto at = [cols](std::uint16_t r, std::uint16_t c) {
+    return static_cast<std::uint16_t>(r * cols + c);
+  };
+  for (std::uint16_t s = 0; s < rows * cols; ++s) t.add_switch(ports);
+  std::vector<std::uint8_t> next_port(static_cast<std::size_t>(rows) * cols, 0);
+  for (std::uint16_t r = 0; r < rows; ++r)
+    for (std::uint16_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        const auto a = at(r, c), b = at(r, c + 1);
+        t.connect_switches(a, next_port[a]++, b, next_port[b]++, PortKind::kSan);
+      }
+      if (r + 1 < rows) {
+        const auto a = at(r, c), b = at(r + 1, c);
+        t.connect_switches(a, next_port[a]++, b, next_port[b]++, PortKind::kSan);
+      }
+    }
+  for (std::uint16_t s = 0; s < rows * cols; ++s)
+    for (std::uint8_t h = 0; h < hosts_per_switch; ++h) {
+      auto id = t.add_host();
+      t.attach_host(id.index, s, next_port[s]++, PortKind::kLan);
+    }
+  return t;
+}
+
+Topology make_star(std::uint16_t leaves, std::uint8_t hosts_per_switch) {
+  if (leaves == 0) throw std::invalid_argument("star needs leaves");
+  if (hosts_per_switch + 1 > 8)
+    throw std::invalid_argument("too many hosts per leaf switch");
+  Topology t;
+  t.add_switch(std::max<std::uint8_t>(8, static_cast<std::uint8_t>(
+                                             std::min<int>(leaves, 250))),
+               "core");
+  for (std::uint16_t l = 0; l < leaves; ++l) t.add_switch(8);
+  std::vector<std::uint8_t> next_port(1u + leaves, 0);
+  for (std::uint16_t l = 0; l < leaves; ++l) {
+    const auto leaf = static_cast<std::uint16_t>(1 + l);
+    t.connect_switches(0, next_port[0]++, leaf, next_port[leaf]++,
+                       PortKind::kSan);
+  }
+  for (std::uint16_t l = 0; l < leaves; ++l) {
+    const auto leaf = static_cast<std::uint16_t>(1 + l);
+    for (std::uint8_t h = 0; h < hosts_per_switch; ++h) {
+      auto id = t.add_host();
+      t.attach_host(id.index, leaf, next_port[leaf]++, PortKind::kLan);
+    }
+  }
+  return t;
+}
+
+Topology make_linear(std::uint16_t switches, std::uint8_t hosts_per_switch) {
+  Topology t;
+  for (std::uint16_t s = 0; s < switches; ++s) t.add_switch(8);
+  std::vector<std::uint8_t> next_port(switches, 0);
+  for (std::uint16_t s = 0; s + 1 < switches; ++s) {
+    t.connect_switches(s, next_port[s]++, s + 1, next_port[s + 1]++,
+                       PortKind::kSan);
+  }
+  for (std::uint16_t s = 0; s < switches; ++s) {
+    for (std::uint8_t h = 0; h < hosts_per_switch; ++h) {
+      auto id = t.add_host();
+      t.attach_host(id.index, s, next_port[s]++, PortKind::kLan);
+    }
+  }
+  return t;
+}
+
+}  // namespace itb::topo

@@ -1,0 +1,70 @@
+// Canonical topologies used across tests, examples and benches.
+#pragma once
+
+#include <cstdint>
+
+#include "itb/sim/rng.hpp"
+#include "itb/topo/topology.hpp"
+
+namespace itb::topo {
+
+/// The paper's evaluation testbed (Fig. 6): two M2FM-SW8 switches (8 ports:
+/// ports 0..3 are LAN, 4..7 are SAN, matching the "4 LAN + 4 SAN" product)
+/// and three hosts:
+///   host 0 ("host 1")          — LAN NIC on switch 0
+///   host 1 ("in-transit host") — LAN NIC on switch 0
+///   host 2 ("host 2")          — SAN NIC on switch 1
+/// Switches are joined by two inter-switch cables (one LAN, one SAN) so the
+/// Fig. 8 methodology can build a 5-switch-traversal up*/down* path with a
+/// loop through switch 1 crossing the same port kinds as the ITB path.
+struct TestbedIds {
+  std::uint16_t host1 = 0;
+  std::uint16_t in_transit = 1;
+  std::uint16_t host2 = 2;
+  std::uint16_t switch1 = 0;
+  std::uint16_t switch2 = 1;
+};
+
+Topology make_paper_testbed(TestbedIds* ids = nullptr);
+
+/// The Fig. 1 example: 8 switches (0..7) wired so that the minimal path
+/// 4 -> 6 -> 1 is forbidden by up*/down* (it needs an up after a down at
+/// switch 6) but becomes legal with one ITB at a host on switch 6. One host
+/// hangs off every switch so ITBs are available anywhere.
+Topology make_fig1_network();
+
+/// Parameters for random irregular COW topologies, following the methodology
+/// of the simulation papers this work builds on ([2,3]): N switches, each
+/// with `ports` ports, `hosts_per_switch` hosts on each switch, remaining
+/// ports wired randomly subject to connectivity.
+struct IrregularSpec {
+  std::uint16_t switches = 16;
+  std::uint8_t ports = 8;
+  std::uint8_t hosts_per_switch = 4;
+  /// Port kind used for host links and for switch-switch links.
+  PortKind host_link_kind = PortKind::kLan;
+  PortKind trunk_kind = PortKind::kSan;
+};
+
+Topology make_random_irregular(const IrregularSpec& spec, sim::Rng& rng);
+
+/// A chain of `switches` switches with one host on each end plus
+/// `hosts_per_switch` hosts everywhere; handy for unit tests.
+Topology make_linear(std::uint16_t switches, std::uint8_t hosts_per_switch = 1);
+
+/// A ring of `switches` switches. Rings are the smallest topologies whose
+/// cycles force up*/down* to forbid some minimal paths, so they make good
+/// ITB showcases.
+Topology make_ring(std::uint16_t switches, std::uint8_t hosts_per_switch = 1);
+
+/// A 2D mesh of rows x cols switches (COWs wired along machine-room rows).
+/// Port budget: 4 mesh neighbours + hosts_per_switch must fit in `ports`.
+Topology make_mesh(std::uint16_t rows, std::uint16_t cols,
+                   std::uint8_t hosts_per_switch = 2, std::uint8_t ports = 8);
+
+/// A star: `leaves` edge switches around one core switch, hosts on the
+/// leaves only. The worst case for root congestion when the core is not
+/// the spanning-tree root.
+Topology make_star(std::uint16_t leaves, std::uint8_t hosts_per_switch = 2);
+
+}  // namespace itb::topo

@@ -1,0 +1,125 @@
+#include "itb/topo/parse.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace itb::topo {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("topology line " + std::to_string(line) + ": " +
+                              what);
+}
+
+struct NameTable {
+  std::map<std::string, NodeId> ids;
+
+  void add(std::size_t line, const std::string& name, NodeId id) {
+    if (!ids.emplace(name, id).second) fail(line, "duplicate name " + name);
+  }
+  NodeId get(std::size_t line, const std::string& name) const {
+    auto it = ids.find(name);
+    if (it == ids.end()) fail(line, "unknown node " + name);
+    return it->second;
+  }
+};
+
+/// Split "name:port" into its parts.
+std::pair<std::string, std::uint8_t> parse_endpoint(std::size_t line,
+                                                    const std::string& token) {
+  const auto colon = token.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= token.size())
+    fail(line, "endpoint must be <name>:<port>, got " + token);
+  const std::string name = token.substr(0, colon);
+  int port = -1;
+  try {
+    port = std::stoi(token.substr(colon + 1));
+  } catch (const std::exception&) {
+    fail(line, "bad port in " + token);
+  }
+  if (port < 0 || port > 255) fail(line, "port out of range in " + token);
+  return {name, static_cast<std::uint8_t>(port)};
+}
+
+}  // namespace
+
+Topology parse_topology(const std::string& text) {
+  Topology topo;
+  NameTable names;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_no = 0;
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip comments and surrounding whitespace.
+    if (auto hash = raw.find('#'); hash != std::string::npos)
+      raw.resize(hash);
+    std::istringstream line(raw);
+    std::string keyword;
+    if (!(line >> keyword)) continue;  // blank line
+
+    if (keyword == "switch") {
+      std::string name;
+      int ports = 8;
+      if (!(line >> name)) fail(line_no, "switch needs a name");
+      line >> ports;
+      if (ports < 1 || ports > 127) fail(line_no, "bad port count");
+      names.add(line_no, name,
+                topo.add_switch(static_cast<std::uint8_t>(ports), name));
+    } else if (keyword == "host") {
+      std::string name;
+      if (!(line >> name)) fail(line_no, "host needs a name");
+      names.add(line_no, name, topo.add_host(name));
+    } else if (keyword == "link") {
+      std::string a, b, kind_str = "san";
+      if (!(line >> a >> b)) fail(line_no, "link needs two endpoints");
+      line >> kind_str;
+      PortKind kind;
+      if (kind_str == "san") {
+        kind = PortKind::kSan;
+      } else if (kind_str == "lan") {
+        kind = PortKind::kLan;
+      } else {
+        fail(line_no, "link kind must be san or lan, got " + kind_str);
+      }
+      auto [aname, aport] = parse_endpoint(line_no, a);
+      auto [bname, bport] = parse_endpoint(line_no, b);
+      try {
+        topo.connect({names.get(line_no, aname), aport},
+                     {names.get(line_no, bname), bport}, kind);
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+    } else {
+      fail(line_no, "unknown keyword " + keyword);
+    }
+    std::string extra;
+    if (line >> extra) fail(line_no, "trailing token " + extra);
+  }
+  return topo;
+}
+
+std::string serialize_topology(const Topology& topo) {
+  std::ostringstream out;
+  auto name_of = [&](NodeId id) -> std::string {
+    return id.kind == NodeKind::kSwitch ? topo.switch_spec(id.index).name
+                                        : topo.host_spec(id.index).name;
+  };
+  for (std::uint16_t s = 0; s < topo.switch_count(); ++s)
+    out << "switch " << topo.switch_spec(s).name << " "
+        << static_cast<int>(topo.switch_spec(s).ports) << "\n";
+  for (std::uint16_t h = 0; h < topo.host_count(); ++h)
+    out << "host " << topo.host_spec(h).name << "\n";
+  for (LinkId l = 0; l < topo.link_count(); ++l) {
+    const auto& link = topo.link(l);
+    out << "link " << name_of(link.a.node) << ":"
+        << static_cast<int>(link.a.port) << " " << name_of(link.b.node) << ":"
+        << static_cast<int>(link.b.port) << " "
+        << (link.kind == PortKind::kSan ? "san" : "lan") << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace itb::topo

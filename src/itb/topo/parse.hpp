@@ -1,0 +1,29 @@
+// Textual topology description.
+//
+// A COW wiring list a user can keep next to the machines:
+//
+//   # comment
+//   switch sw0 8           # name, port count (default 8)
+//   host   nodeA
+//   link   sw0:0 sw1:3 san # endpoints as <name>:<port>; kind san|lan
+//   link   nodeA:0 sw0:1 lan
+//
+// Hosts and switches are numbered in declaration order, which is the id
+// space used by the rest of the library (GM host ids, switch ids).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "itb/topo/topology.hpp"
+
+namespace itb::topo {
+
+/// Parse a description. Throws std::invalid_argument with a line-numbered
+/// message on any syntax or wiring error.
+Topology parse_topology(const std::string& text);
+
+/// Serialize a topology in the same format (stable round trip).
+std::string serialize_topology(const Topology& topo);
+
+}  // namespace itb::topo

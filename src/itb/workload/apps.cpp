@@ -1,0 +1,163 @@
+#include "itb/workload/apps.hpp"
+
+#include <deque>
+#include <memory>
+#include <stdexcept>
+
+namespace itb::workload {
+namespace {
+
+/// Token-aware sender: queues destinations and pushes whenever a send token
+/// returns, so kernels can express more outstanding traffic than GM allows.
+class Feeder {
+ public:
+  explicit Feeder(gm::GmPort& port) : port_(port) {}
+
+  void enqueue(std::uint16_t dst, packet::Bytes message) {
+    queue_.emplace_back(dst, std::move(message));
+    pump();
+  }
+
+  void pump() {
+    // send() takes the message by value, so probe for a token first —
+    // a refused call would already have consumed the buffer.
+    while (!queue_.empty() && port_.tokens_available() > 0) {
+      auto& [dst, msg] = queue_.front();
+      if (!port_.send(dst, std::move(msg), [this](sim::Time) { pump(); }))
+        throw std::logic_error("send refused despite an available token");
+      queue_.pop_front();
+    }
+  }
+
+ private:
+  gm::GmPort& port_;
+  std::deque<std::pair<std::uint16_t, packet::Bytes>> queue_;
+};
+
+}  // namespace
+
+AppResult run_all_to_all(sim::EventQueue& queue, std::vector<gm::GmPort*> ports,
+                         std::size_t bytes, int rounds) {
+  const auto n = ports.size();
+  if (n < 2) throw std::invalid_argument("need at least two ports");
+  AppResult result;
+  const sim::Time start = queue.now();
+
+  for (auto* p : ports)
+    p->set_receive_handler([&result](sim::Time, std::uint16_t,
+                                     packet::Bytes msg) {
+      ++result.messages;
+      result.bytes += msg.size();
+    });
+
+  std::vector<std::unique_ptr<Feeder>> feeders;
+  feeders.reserve(n);
+  for (auto* p : ports) feeders.push_back(std::make_unique<Feeder>(*p));
+  for (int r = 0; r < rounds; ++r)
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t d = 0; d < n; ++d) {
+        if (d == i) continue;
+        feeders[i]->enqueue(static_cast<std::uint16_t>(d),
+                            packet::Bytes(bytes, static_cast<std::uint8_t>(r)));
+      }
+
+  queue.run();
+  result.makespan = queue.now() - start;
+  if (result.messages !=
+      static_cast<std::uint64_t>(rounds) * n * (n - 1))
+    throw std::logic_error("all-to-all lost messages");
+  return result;
+}
+
+AppResult run_ring_exchange(sim::EventQueue& queue,
+                            std::vector<gm::GmPort*> ports, std::size_t bytes,
+                            int rounds) {
+  const auto n = ports.size();
+  if (n < 2) throw std::invalid_argument("need at least two ports");
+  AppResult result;
+  const sim::Time start = queue.now();
+
+  std::vector<std::unique_ptr<Feeder>> feeders;
+  feeders.reserve(n);
+  for (auto* p : ports) feeders.push_back(std::make_unique<Feeder>(*p));
+
+  // Receiving the round-r message from the left neighbour releases the
+  // round-(r+1) send to the right neighbour.
+  for (std::size_t i = 0; i < n; ++i) {
+    ports[i]->set_receive_handler(
+        [&, i](sim::Time, std::uint16_t, packet::Bytes msg) {
+          ++result.messages;
+          result.bytes += msg.size();
+          const int round = msg[0];
+          if (round + 1 < rounds) {
+            packet::Bytes next(msg.size(),
+                               static_cast<std::uint8_t>(round + 1));
+            feeders[i]->enqueue(static_cast<std::uint16_t>((i + 1) % n),
+                                std::move(next));
+          }
+        });
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    feeders[i]->enqueue(static_cast<std::uint16_t>((i + 1) % n),
+                        packet::Bytes(std::max<std::size_t>(bytes, 1), 0));
+
+  queue.run();
+  result.makespan = queue.now() - start;
+  if (result.messages != static_cast<std::uint64_t>(rounds) * n)
+    throw std::logic_error("ring exchange lost messages");
+  return result;
+}
+
+AppResult run_master_worker(sim::EventQueue& queue,
+                            std::vector<gm::GmPort*> ports,
+                            std::size_t task_bytes, std::size_t result_bytes,
+                            int rounds) {
+  const auto n = ports.size();
+  if (n < 2) throw std::invalid_argument("need a master and a worker");
+  AppResult result;
+  const sim::Time start = queue.now();
+
+  std::vector<std::unique_ptr<Feeder>> feeders;
+  feeders.reserve(n);
+  for (auto* p : ports) feeders.push_back(std::make_unique<Feeder>(*p));
+
+  // Workers answer every task with a result.
+  for (std::size_t w = 1; w < n; ++w) {
+    ports[w]->set_receive_handler(
+        [&, w](sim::Time, std::uint16_t master, packet::Bytes msg) {
+          ++result.messages;
+          result.bytes += msg.size();
+          packet::Bytes reply(std::max<std::size_t>(result_bytes, 1), msg[0]);
+          feeders[w]->enqueue(master, std::move(reply));
+        });
+  }
+
+  // The master scatters a round, waits for all replies, then repeats.
+  auto scatter = std::make_shared<std::function<void(int)>>();
+  auto replies = std::make_shared<std::size_t>(0);
+  ports[0]->set_receive_handler(
+      [&, scatter, replies](sim::Time, std::uint16_t, packet::Bytes msg) {
+        ++result.messages;
+        result.bytes += msg.size();
+        if (++*replies == n - 1) {
+          *replies = 0;
+          const int round = msg[0];
+          if (round + 1 < rounds) (*scatter)(round + 1);
+        }
+      });
+  *scatter = [&, task_bytes](int round) {
+    for (std::size_t w = 1; w < n; ++w)
+      feeders[0]->enqueue(static_cast<std::uint16_t>(w),
+                          packet::Bytes(std::max<std::size_t>(task_bytes, 1),
+                                        static_cast<std::uint8_t>(round)));
+  };
+  (*scatter)(0);
+
+  queue.run();
+  result.makespan = queue.now() - start;
+  if (result.messages != static_cast<std::uint64_t>(rounds) * 2 * (n - 1))
+    throw std::logic_error("master/worker lost messages");
+  return result;
+}
+
+}  // namespace itb::workload

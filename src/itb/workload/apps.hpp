@@ -1,0 +1,44 @@
+// Distributed-application kernels over GM.
+//
+// The paper's stated next step (§6) is "analyzing the impact of using ITBs
+// in the execution time of distributed applications". These kernels are the
+// classic communication skeletons of parallel codes, written against the
+// GmPort API; an experiment runs one to completion and reports its
+// execution time (makespan) under a routing policy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "itb/gm/port.hpp"
+
+namespace itb::workload {
+
+struct AppResult {
+  sim::Duration makespan = 0;       // first send() to last delivery
+  std::uint64_t messages = 0;       // application messages exchanged
+  std::uint64_t bytes = 0;          // application payload moved
+};
+
+/// All-to-all personalized exchange: every host sends one `bytes`-long
+/// message to every other host, `rounds` times. The densest collective —
+/// exactly the traffic that saturates a spanning-tree root.
+AppResult run_all_to_all(sim::EventQueue& queue, std::vector<gm::GmPort*> ports,
+                         std::size_t bytes, int rounds = 1);
+
+/// Ring exchange: host i sends to host (i+1) mod n each round and waits
+/// for the message from (i-1) before starting the next round — the
+/// communication skeleton of pipelined stencils and ring all-reduce.
+AppResult run_ring_exchange(sim::EventQueue& queue,
+                            std::vector<gm::GmPort*> ports, std::size_t bytes,
+                            int rounds);
+
+/// Master/worker: host 0 scatters one task to every worker, each worker
+/// replies with a result, repeated `rounds` times — hotspot traffic on the
+/// master's switch.
+AppResult run_master_worker(sim::EventQueue& queue,
+                            std::vector<gm::GmPort*> ports,
+                            std::size_t task_bytes, std::size_t result_bytes,
+                            int rounds);
+
+}  // namespace itb::workload

@@ -1,0 +1,41 @@
+// The paper's measurement workload: gm_allsize-style ping-pong.
+//
+// Host A sends an L-byte message; host B's receive handler immediately
+// replies with L bytes; A halves the round-trip time. The paper averages
+// 100 iterations per message size (§5); we do the same by default.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "itb/gm/port.hpp"
+#include "itb/sim/stats.hpp"
+
+namespace itb::workload {
+
+struct AllsizeConfig {
+  int iterations = 100;
+  /// Message sizes to sweep; defaults mirror gm_allsize's powers of two.
+  std::vector<std::size_t> sizes = {4,   8,    16,   32,   64,   128,  256,
+                                    512, 1024, 2048, 4096, 8192, 16384};
+};
+
+struct AllsizeRow {
+  std::size_t size = 0;
+  double half_rtt_ns = 0;   // mean over iterations
+  double min_ns = 0;
+  double max_ns = 0;
+  double stddev_ns = 0;
+};
+
+/// Run the ping-pong between two ports sharing one event queue. The queue
+/// is drained between iterations, so the network is unloaded — exactly the
+/// paper's testbed condition.
+std::vector<AllsizeRow> run_allsize(sim::EventQueue& queue, gm::GmPort& a,
+                                    gm::GmPort& b, const AllsizeConfig& config = {});
+
+/// Single-size convenience wrapper.
+AllsizeRow run_pingpong(sim::EventQueue& queue, gm::GmPort& a, gm::GmPort& b,
+                        std::size_t size, int iterations = 100);
+
+}  // namespace itb::workload

@@ -1,0 +1,150 @@
+// Unit tests for the host PCI bus model and the LANai McpCpu executor.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "itb/host/pci.hpp"
+#include "itb/nic/lanai.hpp"
+
+namespace {
+
+using namespace itb;
+
+// -------------------------------------------------------------- PciBus ---
+
+TEST(PciBus, SingleTransferTiming) {
+  sim::EventQueue q;
+  host::PciTiming timing;  // 600 ns setup, 485 ns / 256 B
+  host::PciBus bus(q, timing);
+  sim::Time done_at = -1;
+  bus.dma(256, [&] { done_at = q.now(); });
+  EXPECT_TRUE(bus.busy());
+  q.run();
+  EXPECT_EQ(done_at, 600 + 485);
+  EXPECT_FALSE(bus.busy());
+  EXPECT_EQ(bus.completed(), 1u);
+}
+
+TEST(PciBus, TransfersSerialize) {
+  sim::EventQueue q;
+  host::PciBus bus(q, host::PciTiming{});
+  std::vector<sim::Time> done;
+  for (int i = 0; i < 3; ++i) bus.dma(256, [&] { done.push_back(q.now()); });
+  q.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], 1085);
+  EXPECT_EQ(done[1], 2 * 1085);
+  EXPECT_EQ(done[2], 3 * 1085);
+}
+
+TEST(PciBus, ZeroByteTransferCostsSetupOnly) {
+  sim::EventQueue q;
+  host::PciBus bus(q, host::PciTiming{});
+  sim::Time done_at = -1;
+  bus.dma(0, [&] { done_at = q.now(); });
+  q.run();
+  EXPECT_EQ(done_at, 600);
+}
+
+TEST(PciBus, Pci32IsSlowerThanPci64) {
+  EXPECT_GT(host::PciTiming::pci32_33().transfer_time(4096),
+            host::PciTiming::pci64_66().transfer_time(4096));
+}
+
+TEST(PciBus, QueueingWhileBusy) {
+  sim::EventQueue q;
+  host::PciBus bus(q, host::PciTiming{});
+  int order = 0;
+  int first = 0, second = 0;
+  bus.dma(1024, [&] { first = ++order; });
+  // Enqueue a second transfer from within the first's completion.
+  bus.dma(8, [&] { second = ++order; });
+  q.run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 2);
+}
+
+// -------------------------------------------------------------- McpCpu ---
+
+TEST(McpCpu, JobCostsCyclesPlusDispatch) {
+  sim::EventQueue q;
+  nic::LanaiTiming t;
+  nic::McpCpu cpu(q, t);
+  sim::Time done_at = -1;
+  cpu.post(nic::McpPriority::kRecvComplete, 10, [&] { done_at = q.now(); });
+  q.run();
+  EXPECT_EQ(done_at, t.cycles(10 + t.dispatch));
+  EXPECT_EQ(cpu.busy_ns(), t.cycles(10 + t.dispatch));
+}
+
+TEST(McpCpu, SkipDispatchOmitsTheDispatchCost) {
+  sim::EventQueue q;
+  nic::LanaiTiming t;
+  nic::McpCpu cpu(q, t);
+  sim::Time done_at = -1;
+  cpu.post(nic::McpPriority::kEarlyRecv, 10, [&] { done_at = q.now(); }, true);
+  q.run();
+  EXPECT_EQ(done_at, t.cycles(10));
+}
+
+TEST(McpCpu, HigherPriorityJobsRunFirst) {
+  sim::EventQueue q;
+  nic::LanaiTiming t;
+  nic::McpCpu cpu(q, t);
+  std::vector<int> order;
+  // Park the CPU on a long job, then post out of priority order.
+  cpu.post(nic::McpPriority::kHostRequest, 100, [&] { order.push_back(0); });
+  cpu.post(nic::McpPriority::kSdma, 1, [&] { order.push_back(3); });
+  cpu.post(nic::McpPriority::kEarlyRecv, 1, [&] { order.push_back(1); });
+  cpu.post(nic::McpPriority::kRecvComplete, 1, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(McpCpu, EqualPriorityIsFifo) {
+  sim::EventQueue q;
+  nic::McpCpu cpu(q, nic::LanaiTiming{});
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    cpu.post(nic::McpPriority::kRecvComplete, 1, [&, i] { order.push_back(i); });
+  q.run();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(McpCpu, NonPreemptive) {
+  // A high-priority job posted while a low-priority one runs waits for it.
+  sim::EventQueue q;
+  nic::LanaiTiming t;
+  nic::McpCpu cpu(q, t);
+  sim::Time high_done = -1;
+  cpu.post(nic::McpPriority::kHostRequest, 100, [&] {
+    cpu.post(nic::McpPriority::kEarlyRecv, 1, [&] { high_done = q.now(); });
+  });
+  q.run();
+  // The high job starts only after the low one's full window.
+  EXPECT_EQ(high_done,
+            t.cycles(100 + t.dispatch) + t.cycles(1 + t.dispatch));
+}
+
+TEST(McpCpu, JobsCanChainWithoutRecursionIssues) {
+  sim::EventQueue q;
+  nic::McpCpu cpu(q, nic::LanaiTiming{});
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 200)
+      cpu.post(nic::McpPriority::kSdma, 1, chain);
+  };
+  cpu.post(nic::McpPriority::kSdma, 1, chain);
+  q.run();
+  EXPECT_EQ(depth, 200);
+}
+
+TEST(LanaiTiming, DefaultsMatchPaperCalibration) {
+  nic::LanaiTiming t;
+  // 33 MHz LANai: 30 ns cycles.
+  EXPECT_EQ(t.cycle_ns, 30);
+  // The Fig. 7 per-packet probe is ~125 ns (4 cycles = 120 ns).
+  EXPECT_EQ(t.cycles(t.itb_recv_extra), 120);
+}
+
+}  // namespace

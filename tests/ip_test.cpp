@@ -1,0 +1,206 @@
+// Tests for IP-over-Myrinet: datagram codec, checksum, fragmentation and
+// reassembly, best-effort loss semantics, and coexistence with GM on the
+// same NIC through the type demux.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "itb/core/cluster.hpp"
+#include "itb/ip/datagram.hpp"
+#include "itb/topo/builders.hpp"
+
+namespace {
+
+using namespace itb;
+using packet::Bytes;
+
+// --------------------------------------------------------------- codec ---
+
+TEST(IpDatagram, ChecksumKnownProperty) {
+  // A buffer with a valid embedded checksum re-sums to zero.
+  ip::IpHeader h;
+  h.src_addr = ip::address_of(3);
+  h.dst_addr = ip::address_of(9);
+  auto bytes = ip::encode(h, Bytes(10, 0x5A));
+  EXPECT_EQ(ip::internet_checksum(
+                std::span(bytes).first(ip::IpHeader::kSize)),
+            0);
+}
+
+TEST(IpDatagram, RoundTrip) {
+  ip::IpHeader h;
+  h.protocol = 6;
+  h.ident = 0xBEEF;
+  h.fragment_offset = 4096;
+  h.more_fragments = true;
+  h.src_addr = ip::address_of(0);
+  h.dst_addr = ip::address_of(65535 - 2);
+  Bytes payload(33);
+  std::iota(payload.begin(), payload.end(), std::uint8_t{1});
+  auto d = ip::decode(ip::encode(h, payload));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->header.protocol, 6);
+  EXPECT_EQ(d->header.ident, 0xBEEF);
+  EXPECT_EQ(d->header.fragment_offset, 4096);
+  EXPECT_TRUE(d->header.more_fragments);
+  EXPECT_EQ(d->payload, payload);
+}
+
+TEST(IpDatagram, AddressMappingRoundTrips) {
+  for (std::uint16_t h : {0, 1, 7, 255, 4000}) {
+    auto addr = ip::address_of(h);
+    auto back = ip::host_of(addr);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, h);
+  }
+  EXPECT_FALSE(ip::host_of(0x0A000000).has_value());  // network address
+  EXPECT_FALSE(ip::host_of(0xC0A80101).has_value());  // foreign network
+}
+
+TEST(IpDatagram, DecodeRejectsCorruption) {
+  ip::IpHeader h;
+  h.src_addr = ip::address_of(1);
+  h.dst_addr = ip::address_of(2);
+  auto good = ip::encode(h, Bytes(8, 1));
+  for (std::size_t i = 0; i < ip::IpHeader::kSize; ++i) {
+    auto bad = good;
+    bad[i] ^= 0x20;
+    EXPECT_FALSE(ip::decode(bad).has_value()) << "flip at " << i;
+  }
+  auto truncated = good;
+  truncated.pop_back();
+  EXPECT_FALSE(ip::decode(truncated).has_value());
+}
+
+// --------------------------------------------------------------- stack ---
+
+std::unique_ptr<core::Cluster> cluster(double drop = 0.0) {
+  core::ClusterConfig cfg;
+  cfg.topology = topo::make_linear(3, 1);
+  cfg.fault_plan.drop_probability = drop;
+  cfg.fault_plan.seed = 5150;
+  return std::make_unique<core::Cluster>(std::move(cfg));
+}
+
+TEST(IpStack, SingleDatagramDelivery) {
+  auto c = cluster();
+  Bytes got;
+  std::uint16_t got_src = 99;
+  std::uint8_t got_proto = 0;
+  c->ip(2).set_handler([&](sim::Time, std::uint16_t src, std::uint8_t proto,
+                           Bytes data) {
+    got = std::move(data);
+    got_src = src;
+    got_proto = proto;
+  });
+  Bytes payload(500);
+  std::iota(payload.begin(), payload.end(), std::uint8_t{7});
+  c->ip(0).send(2, payload, /*protocol=*/17);
+  c->run();
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(got_src, 0);
+  EXPECT_EQ(got_proto, 17);
+  EXPECT_EQ(c->ip(2).stats().datagrams_delivered, 1u);
+}
+
+TEST(IpStack, LargeDatagramFragmentsAndReassembles) {
+  auto c = cluster();
+  const std::size_t size = 3 * (nic::Nic::kMtu - ip::IpHeader::kSize) + 57;
+  Bytes payload(size);
+  for (std::size_t i = 0; i < size; ++i)
+    payload[i] = static_cast<std::uint8_t>(i * 2654435761u >> 16);
+  Bytes got;
+  c->ip(1).set_handler(
+      [&](sim::Time, std::uint16_t, std::uint8_t, Bytes d) { got = std::move(d); });
+  c->ip(0).send(1, payload);
+  c->run();
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(c->ip(0).stats().fragments_sent, 4u);
+  EXPECT_EQ(c->ip(1).stats().fragments_received, 4u);
+}
+
+TEST(IpStack, BestEffortLosesUnderFaultsWithoutRetransmission) {
+  auto c = cluster(/*drop=*/0.35);
+  int delivered = 0;
+  c->ip(2).set_handler(
+      [&](sim::Time, std::uint16_t, std::uint8_t, Bytes) { ++delivered; });
+  for (int i = 0; i < 30; ++i) c->ip(0).send(2, Bytes(600, 1));
+  c->run();
+  EXPECT_LT(delivered, 30);  // some datagrams vanished
+  EXPECT_GT(delivered, 0);   // but not all
+  // No recovery machinery exists at this layer.
+  EXPECT_EQ(c->port(0).stats().retransmissions, 0u);
+}
+
+TEST(IpStack, ReassemblyTimeoutDropsIncompleteDatagrams) {
+  auto c = cluster(/*drop=*/0.5);
+  int delivered = 0;
+  c->ip(1).set_handler(
+      [&](sim::Time, std::uint16_t, std::uint8_t, Bytes) { ++delivered; });
+  // Multi-fragment datagrams: a lost fragment strands the rest.
+  const std::size_t size = 2 * (nic::Nic::kMtu - ip::IpHeader::kSize);
+  for (int i = 0; i < 20; ++i) c->ip(0).send(1, Bytes(size, 2));
+  c->run();
+  // The sweep runs on packet arrival; poke the stack well past the timeout
+  // with several probes (individual probes can themselves be dropped).
+  for (int i = 1; i <= 8; ++i)
+    c->queue().schedule_in((20 + i) * sim::kMs,
+                           [&] { c->ip(0).send(1, Bytes(8, 3)); });
+  c->run();
+  EXPECT_GT(c->ip(1).stats().reassembly_timeouts, 0u);
+}
+
+TEST(IpStack, CoexistsWithGmOnOneNic) {
+  auto c = cluster();
+  Bytes gm_got, ip_got;
+  c->port(2).set_receive_handler(
+      [&](sim::Time, std::uint16_t, Bytes m) { gm_got = std::move(m); });
+  c->ip(2).set_handler(
+      [&](sim::Time, std::uint16_t, std::uint8_t, Bytes d) { ip_got = std::move(d); });
+  Bytes gm_msg(300, 0xAA), ip_msg(300, 0xBB);
+  ASSERT_TRUE(c->port(0).send(2, gm_msg));
+  c->ip(0).send(2, ip_msg);
+  c->run();
+  EXPECT_EQ(gm_got, gm_msg);
+  EXPECT_EQ(ip_got, ip_msg);
+}
+
+TEST(IpStack, WorksAcrossItbRoutes) {
+  core::ClusterConfig cfg;
+  cfg.topology = topo::make_fig1_network();
+  cfg.policy = routing::Policy::kItb;
+  core::Cluster c(std::move(cfg));
+  Bytes got;
+  c.ip(1).set_handler(
+      [&](sim::Time, std::uint16_t, std::uint8_t, Bytes d) { got = std::move(d); });
+  Bytes payload(6000, 0x3D);
+  c.ip(4).send(1, payload);  // route with one ITB
+  c.run();
+  EXPECT_EQ(got, payload);
+  EXPECT_GT(c.nic(6).stats().itb_forwarded, 0u);
+}
+
+TEST(IpStack, EmptyDatagramThrows) {
+  auto c = cluster();
+  EXPECT_THROW(c->ip(0).send(1, Bytes{}), std::invalid_argument);
+}
+
+TEST(NicMux, UnclaimedTypesAreCounted) {
+  // A NIC whose mux has no IP consumer counts kIp arrivals as unclaimed.
+  sim::EventQueue queue;
+  sim::Tracer tracer;
+  topo::Topology t = topo::make_linear(2, 1);
+  net::Network net(t, {}, queue, tracer);
+  host::PciBus pci0(queue, {}), pci1(queue, {});
+  nic::Nic n0(queue, tracer, net, pci0, 0, {}, {});
+  nic::Nic n1(queue, tracer, net, pci1, 1, {}, {});
+  n0.set_route(1, {{1}});  // linear: s0 port 0 is trunk, port 1 is host 0...
+  // Determine the actual route: h1 sits on s1; from s0 the trunk is port 0.
+  n0.set_route(1, {{0, 1}});
+  nic::NicMux mux(n1);
+  n0.post_send(1, Bytes(50, 1), packet::PacketType::kIp);
+  queue.run();
+  EXPECT_EQ(mux.unclaimed(), 1u);
+}
+
+}  // namespace

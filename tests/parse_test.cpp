@@ -1,0 +1,114 @@
+// Tests for the textual topology format.
+#include <gtest/gtest.h>
+
+#include "itb/topo/builders.hpp"
+#include "itb/topo/parse.hpp"
+
+namespace {
+
+using namespace itb::topo;
+
+constexpr const char* kSample = R"(
+# a two-switch COW
+switch sw0 8
+switch sw1 8
+host a
+host b
+host c
+
+link sw0:0 sw1:0 san
+link sw0:1 sw1:1 san   # parallel trunk
+link a:0 sw0:2 lan
+link b:0 sw0:3 lan
+link c:0 sw1:2 san
+)";
+
+TEST(Parse, SampleParses) {
+  auto t = parse_topology(kSample);
+  EXPECT_EQ(t.switch_count(), 2u);
+  EXPECT_EQ(t.host_count(), 3u);
+  EXPECT_EQ(t.link_count(), 5u);
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_EQ(t.switch_spec(0).name, "sw0");
+  EXPECT_EQ(t.host_spec(2).name, "c");
+  EXPECT_EQ(t.link(2).kind, PortKind::kLan);
+}
+
+TEST(Parse, DefaultsAndWhitespace) {
+  auto t = parse_topology("switch s\nhost h\nlink h:0 s:0\n");
+  EXPECT_EQ(t.switch_spec(0).ports, 8);       // default port count
+  EXPECT_EQ(t.link(0).kind, PortKind::kSan);  // default kind
+}
+
+TEST(Parse, SelfCableOnSwitch) {
+  auto t = parse_topology("switch s 8\nlink s:6 s:7 san\n");
+  EXPECT_EQ(t.link_count(), 1u);
+  EXPECT_EQ(t.link(0).a.node, t.link(0).b.node);
+}
+
+TEST(Parse, ErrorsCarryLineNumbers) {
+  auto expect_error = [](const std::string& text, const char* needle) {
+    try {
+      parse_topology(text);
+      FAIL() << "expected failure for: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("switch\n", "line 1");
+  expect_error("bogus s\n", "unknown keyword");
+  expect_error("switch s\nswitch s\n", "duplicate name");
+  expect_error("switch s\nlink s:0 t:0\n", "unknown node");
+  expect_error("switch s\nhost h\nlink h:x s:0\n", "bad port");
+  expect_error("switch s\nhost h\nlink h:0 s:0 foo\n", "san or lan");
+  expect_error("switch s 8\nlink s:0 s:0\n", "itself");  // same port twice
+  expect_error("switch s 8 extra\n", "trailing");
+  expect_error("host h\nhost g\nlink h:0 g:0\n", "host-to-host");
+}
+
+TEST(Parse, RoundTripThroughSerialize) {
+  auto original = parse_topology(kSample);
+  auto again = parse_topology(serialize_topology(original));
+  ASSERT_EQ(again.switch_count(), original.switch_count());
+  ASSERT_EQ(again.host_count(), original.host_count());
+  ASSERT_EQ(again.link_count(), original.link_count());
+  for (LinkId l = 0; l < original.link_count(); ++l) {
+    EXPECT_EQ(again.link(l).a, original.link(l).a);
+    EXPECT_EQ(again.link(l).b, original.link(l).b);
+    EXPECT_EQ(again.link(l).kind, original.link(l).kind);
+  }
+}
+
+TEST(Parse, BuildersSurviveRoundTrip) {
+  for (auto topo : {make_paper_testbed(), make_fig1_network(),
+                    make_ring(5, 1), make_mesh(2, 3, 1), make_star(4, 2)}) {
+    auto again = parse_topology(serialize_topology(topo));
+    EXPECT_EQ(again.switch_count(), topo.switch_count());
+    EXPECT_EQ(again.host_count(), topo.host_count());
+    EXPECT_EQ(again.link_count(), topo.link_count());
+  }
+}
+
+TEST(Builders, RingMeshStarShapes) {
+  auto ring = make_ring(6, 2);
+  EXPECT_EQ(ring.switch_count(), 6u);
+  EXPECT_EQ(ring.host_count(), 12u);
+  EXPECT_NO_THROW(ring.validate());
+  EXPECT_THROW(make_ring(2), std::invalid_argument);
+
+  auto mesh = make_mesh(3, 4, 2);
+  EXPECT_EQ(mesh.switch_count(), 12u);
+  EXPECT_EQ(mesh.host_count(), 24u);
+  EXPECT_NO_THROW(mesh.validate());
+  // 3x4 mesh: 2*... horizontal 3*3=9, vertical 2*4=8 trunks.
+  EXPECT_EQ(mesh.link_count(), 9u + 8u + 24u);
+  EXPECT_THROW(make_mesh(2, 2, 5, 8), std::invalid_argument);
+
+  auto star = make_star(5, 2);
+  EXPECT_EQ(star.switch_count(), 6u);
+  EXPECT_EQ(star.host_count(), 10u);
+  EXPECT_NO_THROW(star.validate());
+}
+
+}  // namespace

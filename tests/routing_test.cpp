@@ -1,0 +1,381 @@
+// Tests for up*/down* orientation, route computation, ITB path splitting and
+// the channel-dependency-graph deadlock checker — including the paper's
+// Fig. 1 scenario.
+#include <gtest/gtest.h>
+
+#include "itb/routing/deadlock.hpp"
+#include "itb/routing/paths.hpp"
+#include "itb/routing/table.hpp"
+#include "itb/routing/updown.hpp"
+#include "itb/sim/rng.hpp"
+#include "itb/topo/builders.hpp"
+
+namespace {
+
+using namespace itb::routing;
+using namespace itb::topo;
+
+// ---------------------------------------------------------------- UpDown --
+
+TEST(UpDown, DepthsOfLinearChain) {
+  auto t = make_linear(4);
+  UpDown ud(t);
+  EXPECT_EQ(ud.root(), 0);
+  for (std::uint16_t s = 0; s < 4; ++s) EXPECT_EQ(ud.depth(s), s);
+}
+
+TEST(UpDown, UpEndIsCloserToRoot) {
+  auto t = make_linear(3);
+  UpDown ud(t);
+  // Link 0 joins s0-s1, link 1 joins s1-s2 (built first in make_linear).
+  EXPECT_EQ(ud.up_end(0), 0);
+  EXPECT_EQ(ud.up_end(1), 1);
+  EXPECT_TRUE(ud.is_up_traversal(0, 1));   // s1 -> s0 moves up
+  EXPECT_FALSE(ud.is_up_traversal(0, 0));  // s0 -> s1 moves down
+}
+
+TEST(UpDown, TieBreaksOnLowerId) {
+  Topology t;
+  for (int i = 0; i < 3; ++i) t.add_switch(4);
+  t.add_host();
+  t.add_host();
+  t.connect_switches(0, 0, 1, 0);
+  t.connect_switches(0, 1, 2, 0);
+  auto cross = t.connect_switches(1, 1, 2, 1);  // both at depth 1
+  t.attach_host(0, 1, 2);
+  t.attach_host(1, 2, 2);
+  UpDown ud(t);
+  EXPECT_EQ(ud.up_end(cross), 1);  // lower ID wins the tie
+}
+
+TEST(UpDown, HostLinksUnoriented) {
+  auto t = make_linear(2);
+  UpDown ud(t);
+  // make_linear builds the trunk first, then host links.
+  EXPECT_FALSE(ud.up_end(1).has_value());
+  EXPECT_THROW(ud.is_up_traversal(1, 0), std::invalid_argument);
+}
+
+TEST(UpDown, AlternativeRootChangesDepths) {
+  auto t = make_linear(4);
+  UpDown ud(t, 3);
+  EXPECT_EQ(ud.depth(3), 0u);
+  EXPECT_EQ(ud.depth(0), 3u);
+}
+
+TEST(UpDown, DisconnectedSwitchGraphThrows) {
+  Topology t;
+  t.add_switch(4);
+  t.add_switch(4);
+  EXPECT_THROW(UpDown ud(t), std::invalid_argument);
+}
+
+TEST(UpDown, BadRootThrows) {
+  auto t = make_linear(2);
+  EXPECT_THROW(UpDown ud(t, 9), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- Router --
+
+TEST(Router, SameSwitchRoute) {
+  auto t = make_linear(2, 2);  // hosts 0,1 on s0; hosts 2,3 on s1
+  UpDown ud(t);
+  Router r(ud);
+  auto path = r.updown_route(0, 1);
+  EXPECT_EQ(path.segments.size(), 1u);
+  EXPECT_EQ(path.segments[0].size(), 1u);  // one traversal of s0
+  EXPECT_EQ(path.trunk_hops(), 0u);
+  EXPECT_EQ(path.itb_count(), 0u);
+}
+
+TEST(Router, LinearChainRouteLength) {
+  auto t = make_linear(4, 1);
+  UpDown ud(t);
+  Router r(ud);
+  auto path = r.updown_route(0, 3);
+  EXPECT_EQ(path.trunk_hops(), 3u);
+  EXPECT_EQ(path.switch_traversals(), 4u);
+  EXPECT_TRUE(r.is_valid_updown(path.trunk_channels));
+}
+
+TEST(Router, RouteBytesExecuteToDestination) {
+  // Walk the route bytes over the topology and confirm they land on the
+  // destination host. Exercised over every pair of the Fig. 1 network.
+  auto t = make_fig1_network();
+  UpDown ud(t);
+  Router r(ud);
+  for (std::uint16_t s = 0; s < t.host_count(); ++s) {
+    for (std::uint16_t d = 0; d < t.host_count(); ++d) {
+      if (s == d) continue;
+      auto path = r.updown_route(s, d);
+      auto cur = t.host_uplink(s);
+      for (std::size_t seg = 0; seg < path.segments.size(); ++seg) {
+        if (seg > 0) cur = t.host_uplink(path.in_transit_hosts[seg - 1]);
+        for (auto port : path.segments[seg]) {
+          auto peer = t.peer(cur.node, port);
+          ASSERT_TRUE(peer.has_value()) << describe(path, t);
+          cur = *peer;
+        }
+      }
+      EXPECT_EQ(cur.node, host_id(d)) << describe(path, t);
+    }
+  }
+}
+
+TEST(Router, Fig1MinimalPathIsForbidden) {
+  // The path s4 -> s6 -> s1 makes a down->up transition at s6.
+  auto t = make_fig1_network();
+  UpDown ud(t);
+  Router r(ud);
+  auto minimal = r.minimal_route(4, 1);  // host i sits on switch i
+  EXPECT_EQ(minimal.trunk_hops(), 2u);
+  EXPECT_FALSE(r.is_valid_updown(minimal.trunk_channels));
+}
+
+TEST(Router, Fig1UpDownDetour) {
+  auto t = make_fig1_network();
+  UpDown ud(t);
+  Router r(ud);
+  auto updown = r.updown_route(4, 1);
+  EXPECT_EQ(updown.trunk_hops(), 3u);  // 4 -> 2 -> 0 -> 1
+  EXPECT_TRUE(r.is_valid_updown(updown.trunk_channels));
+  EXPECT_EQ(updown.itb_count(), 0u);
+}
+
+TEST(Router, Fig1ItbRouteIsMinimalWithOneItb) {
+  // The ITB at the host on switch 6 splits 4->6->1 into two valid
+  // up*/down* sub-paths (paper Fig. 1).
+  auto t = make_fig1_network();
+  UpDown ud(t);
+  Router r(ud);
+  auto itb = r.itb_route(4, 1);
+  EXPECT_EQ(itb.trunk_hops(), 2u);
+  EXPECT_EQ(itb.itb_count(), 1u);
+  ASSERT_EQ(itb.in_transit_hosts.size(), 1u);
+  EXPECT_EQ(itb.in_transit_hosts[0], 6);  // host 6 hangs off switch 6
+  EXPECT_EQ(itb.segments.size(), 2u);
+  // Each sub-path must itself be a valid up*/down* path.
+  std::size_t cursor = 0;
+  for (const auto& seg : itb.segments) {
+    std::vector<Channel> chain(itb.trunk_channels.begin() + cursor,
+                               itb.trunk_channels.begin() + cursor +
+                                   (seg.size() - 1));
+    EXPECT_TRUE(r.is_valid_updown(chain));
+    cursor += seg.size() - 1;
+  }
+}
+
+TEST(Router, ItbNeverWorseThanUpDown) {
+  auto t = make_fig1_network();
+  UpDown ud(t);
+  Router r(ud);
+  for (std::uint16_t s = 0; s < t.host_count(); ++s)
+    for (std::uint16_t d = 0; d < t.host_count(); ++d) {
+      if (s == d) continue;
+      EXPECT_LE(r.itb_route(s, d).trunk_hops(),
+                r.updown_route(s, d).trunk_hops());
+    }
+}
+
+TEST(Router, ItbRoutesAreMinimalOnFig1) {
+  // Every switch in Fig. 1 has a host, so every minimal path can be
+  // legalised: the ITB route length must equal the unrestricted minimum.
+  auto t = make_fig1_network();
+  UpDown ud(t);
+  Router r(ud);
+  for (std::uint16_t s = 0; s < t.host_count(); ++s)
+    for (std::uint16_t d = 0; d < t.host_count(); ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(r.itb_route(s, d).trunk_hops(), r.minimal_distance(s, d));
+    }
+}
+
+TEST(Router, ItbSubPathsAlwaysValidOnRandomNets) {
+  itb::sim::Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    IrregularSpec spec;
+    spec.switches = 10;
+    spec.hosts_per_switch = 2;
+    auto t = make_random_irregular(spec, rng);
+    UpDown ud(t);
+    Router r(ud);
+    for (std::uint16_t s = 0; s < t.host_count(); s += 3)
+      for (std::uint16_t d = 0; d < t.host_count(); d += 3) {
+        if (s == d) continue;
+        auto path = r.itb_route(s, d);
+        std::size_t cursor = 0;
+        for (const auto& seg : path.segments) {
+          ASSERT_GE(seg.size(), 1u);
+          std::vector<Channel> chain(
+              path.trunk_channels.begin() + cursor,
+              path.trunk_channels.begin() + cursor + (seg.size() - 1));
+          EXPECT_TRUE(r.is_valid_updown(chain)) << describe(path, t);
+          cursor += seg.size() - 1;
+        }
+        EXPECT_EQ(path.trunk_hops(), r.minimal_distance(s, d))
+            << describe(path, t);
+      }
+  }
+}
+
+TEST(Router, DescribeMentionsItb) {
+  auto t = make_fig1_network();
+  UpDown ud(t);
+  Router r(ud);
+  auto text = describe(r.itb_route(4, 1), t);
+  EXPECT_NE(text.find("ITB(h6)"), std::string::npos) << text;
+  EXPECT_NE(text.find("h4"), std::string::npos);
+}
+
+// ------------------------------------------------------------ RouteTable --
+
+TEST(RouteTable, ItbImprovesAverageHopsOnFig1) {
+  auto t = make_fig1_network();
+  UpDown ud(t);
+  Router r(ud);
+  RouteTable updown(r, Policy::kUpDown);
+  RouteTable itb(r, Policy::kItb);
+  EXPECT_LT(itb.average_trunk_hops(), updown.average_trunk_hops());
+  EXPECT_DOUBLE_EQ(itb.minimal_fraction(r), 1.0);
+  EXPECT_LT(updown.minimal_fraction(r), 1.0);
+  EXPECT_GT(itb.average_itbs(), 0.0);
+  EXPECT_DOUBLE_EQ(updown.average_itbs(), 0.0);
+}
+
+TEST(RouteTable, DiagonalAccessThrows) {
+  auto t = make_linear(2, 1);
+  UpDown ud(t);
+  Router r(ud);
+  RouteTable table(r, Policy::kUpDown);
+  EXPECT_THROW(table.route(0, 0), std::out_of_range);
+  EXPECT_THROW(table.route(0, 5), std::out_of_range);
+}
+
+TEST(RouteTable, ChannelUsageCountsEveryTrunk) {
+  auto t = make_linear(3, 1);  // hosts 0,1,2 on switches 0,1,2
+  UpDown ud(t);
+  Router r(ud);
+  RouteTable table(r, Policy::kUpDown);
+  auto usage = table.channel_usage(t);
+  std::uint32_t total = 0;
+  for (auto u : usage) total += u;
+  // Pairs: 0<->1 (1 hop each way), 0<->2 (2), 1<->2 (1): total 8 trunk hops.
+  EXPECT_EQ(total, 8u);
+}
+
+TEST(RouteTable, UpDownConcentratesTrafficNearRoot) {
+  // The motivation claim (§1): spanning-tree routing saturates the root.
+  itb::sim::Rng rng(5);
+  IrregularSpec spec;
+  spec.switches = 16;
+  spec.hosts_per_switch = 2;
+  auto t = make_random_irregular(spec, rng);
+  UpDown ud(t);
+  Router r(ud);
+  RouteTable updown(r, Policy::kUpDown);
+  RouteTable itbt(r, Policy::kItb);
+  auto peak = [](const std::vector<std::uint32_t>& v) {
+    std::uint32_t m = 0;
+    for (auto x : v) m = std::max(m, x);
+    return m;
+  };
+  // ITB routing must reduce the most-loaded channel's share.
+  EXPECT_LT(peak(itbt.channel_usage(t)), peak(updown.channel_usage(t)));
+}
+
+// -------------------------------------------------------------- Deadlock --
+
+TEST(Deadlock, ExplicitCycleDetected) {
+  auto t = make_linear(3, 1);
+  DependencyGraph g(t);
+  Channel c0{0, true}, c1{1, true}, c0r{0, false};
+  g.add_dependency(c0, c1);
+  EXPECT_FALSE(g.has_cycle());
+  g.add_dependency(c1, c0r);
+  g.add_dependency(c0r, c0);
+  EXPECT_TRUE(g.has_cycle());
+  auto cycle = g.find_cycle();
+  EXPECT_GE(cycle.size(), 2u);
+}
+
+TEST(Deadlock, DuplicateEdgesIgnored) {
+  auto t = make_linear(2, 1);
+  DependencyGraph g(t);
+  g.add_dependency({0, true}, {1, true});
+  g.add_dependency({0, true}, {1, true});
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Deadlock, UpDownTablesAcyclic) {
+  itb::sim::Rng rng(21);
+  IrregularSpec spec;
+  spec.switches = 12;
+  spec.hosts_per_switch = 2;
+  auto t = make_random_irregular(spec, rng);
+  UpDown ud(t);
+  Router r(ud);
+  RouteTable table(r, Policy::kUpDown);
+  DependencyGraph g(t);
+  g.add_table(table, t);
+  EXPECT_FALSE(g.has_cycle());
+}
+
+TEST(Deadlock, ItbTablesAcyclic) {
+  // The paper's core deadlock-freedom claim: splitting at ITBs keeps the
+  // CDG acyclic even though routes are minimal.
+  itb::sim::Rng rng(22);
+  for (int trial = 0; trial < 4; ++trial) {
+    IrregularSpec spec;
+    spec.switches = 12;
+    spec.hosts_per_switch = 2;
+    auto t = make_random_irregular(spec, rng);
+    UpDown ud(t);
+    Router r(ud);
+    RouteTable table(r, Policy::kItb);
+    DependencyGraph g(t);
+    g.add_table(table, t);
+    EXPECT_FALSE(g.has_cycle()) << "trial " << trial;
+  }
+}
+
+TEST(Deadlock, MinimalRoutesWithoutItbsCanCycle) {
+  // Sanity check of the checker itself: raw minimal routing over an
+  // irregular net generally produces cyclic dependencies. We search a few
+  // seeds for a cyclic instance — at least one must exist.
+  itb::sim::Rng rng(1);
+  bool found_cycle = false;
+  for (int trial = 0; trial < 8 && !found_cycle; ++trial) {
+    IrregularSpec spec;
+    spec.switches = 12;
+    spec.hosts_per_switch = 2;
+    auto t = make_random_irregular(spec, rng);
+    UpDown ud(t);
+    Router r(ud);
+    DependencyGraph g(t);
+    for (std::uint16_t s = 0; s < t.host_count(); ++s)
+      for (std::uint16_t d = 0; d < t.host_count(); ++d) {
+        if (s == d) continue;
+        g.add_route(r.minimal_route(s, d), t);
+      }
+    found_cycle = g.has_cycle();
+  }
+  EXPECT_TRUE(found_cycle);
+}
+
+TEST(Deadlock, ItbRouteChainsSplitAtEjection) {
+  // The dependency from the last channel before an ITB to the first after
+  // it must NOT exist.
+  auto t = make_fig1_network();
+  UpDown ud(t);
+  Router r(ud);
+  auto path = r.itb_route(4, 1);
+  ASSERT_EQ(path.itb_count(), 1u);
+  DependencyGraph g(t);
+  g.add_route(path, t);
+  EXPECT_FALSE(g.has_cycle());
+  // With only one route, edges = (channels per chain - 1) summed: chain 1
+  // has host + 1 trunk + host = 3 channels (2 edges), chain 2 the same.
+  EXPECT_EQ(g.edge_count(), 4u);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// Unit tests for the topology substrate and the canonical builders.
+#include <gtest/gtest.h>
+
+#include "itb/sim/rng.hpp"
+#include "itb/topo/builders.hpp"
+#include "itb/topo/topology.hpp"
+
+namespace {
+
+using namespace itb::topo;
+
+TEST(Topology, AddAndQueryNodes) {
+  Topology t;
+  auto s = t.add_switch(8, "sw");
+  auto h = t.add_host("hostA");
+  EXPECT_EQ(s, switch_id(0));
+  EXPECT_EQ(h, host_id(0));
+  EXPECT_EQ(t.switch_count(), 1u);
+  EXPECT_EQ(t.host_count(), 1u);
+  EXPECT_EQ(t.switch_spec(0).ports, 8);
+  EXPECT_EQ(t.host_spec(0).name, "hostA");
+}
+
+TEST(Topology, ConnectAndPeer) {
+  Topology t;
+  t.add_switch(4);
+  t.add_switch(4);
+  auto lid = t.connect_switches(0, 1, 1, 2, PortKind::kSan);
+  EXPECT_EQ(t.link(lid).kind, PortKind::kSan);
+  auto p = t.peer(switch_id(0), 1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->node, switch_id(1));
+  EXPECT_EQ(p->port, 2);
+  EXPECT_FALSE(t.peer(switch_id(0), 0).has_value());
+}
+
+TEST(Topology, PortCollisionThrows) {
+  Topology t;
+  t.add_switch(4);
+  t.add_switch(4);
+  t.add_switch(4);
+  t.connect_switches(0, 1, 1, 1);
+  EXPECT_THROW(t.connect_switches(0, 1, 2, 0), std::invalid_argument);
+  EXPECT_THROW(t.connect_switches(2, 0, 1, 1), std::invalid_argument);
+}
+
+TEST(Topology, OutOfRangePortThrows) {
+  Topology t;
+  t.add_switch(4);
+  t.add_switch(4);
+  EXPECT_THROW(t.connect_switches(0, 4, 1, 0), std::invalid_argument);
+}
+
+TEST(Topology, UnknownNodeThrows) {
+  Topology t;
+  t.add_switch(4);
+  EXPECT_THROW(t.connect_switches(0, 0, 7, 0), std::invalid_argument);
+  EXPECT_THROW(t.attach_host(0, 0, 1), std::invalid_argument);  // no host yet
+}
+
+TEST(Topology, SwitchSelfCableAllowedHostSelfForbidden) {
+  Topology t;
+  t.add_switch(4);
+  auto lid = t.connect({switch_id(0), 0}, {switch_id(0), 1});
+  auto p = t.peer(switch_id(0), 0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->node, switch_id(0));
+  EXPECT_EQ(p->port, 1);
+  EXPECT_EQ(t.link(lid).a.node, t.link(lid).b.node);
+}
+
+TEST(Topology, ChannelEndpoints) {
+  Topology t;
+  t.add_switch(4);
+  t.add_switch(4);
+  auto lid = t.connect_switches(0, 0, 1, 3);
+  Channel fwd{lid, true}, rev{lid, false};
+  EXPECT_EQ(t.channel_source(fwd).node, switch_id(0));
+  EXPECT_EQ(t.channel_target(fwd).node, switch_id(1));
+  EXPECT_EQ(t.channel_source(rev).node, switch_id(1));
+  EXPECT_EQ(t.channel_target(rev).node, switch_id(0));
+}
+
+TEST(Topology, HostUplink) {
+  Topology t;
+  t.add_switch(4);
+  t.add_host();
+  t.attach_host(0, 0, 2);
+  auto up = t.host_uplink(0);
+  EXPECT_EQ(up.node, switch_id(0));
+  EXPECT_EQ(up.port, 2);
+}
+
+TEST(Topology, ValidateCatchesUnattachedHost) {
+  Topology t;
+  t.add_switch(4);
+  t.add_host();
+  EXPECT_THROW(t.validate(), std::logic_error);
+  t.attach_host(0, 0, 0);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Topology, ConnectedDetectsPartition) {
+  Topology t;
+  t.add_switch(4);
+  t.add_switch(4);
+  EXPECT_FALSE(t.connected());
+  t.connect_switches(0, 0, 1, 0);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Topology, LinksOfNode) {
+  Topology t;
+  t.add_switch(4);
+  t.add_switch(4);
+  t.add_host();
+  t.connect_switches(0, 0, 1, 0);
+  t.attach_host(0, 0, 1);
+  EXPECT_EQ(t.links_of(switch_id(0)).size(), 2u);
+  EXPECT_EQ(t.links_of(switch_id(1)).size(), 1u);
+  EXPECT_EQ(t.links_of(host_id(0)).size(), 1u);
+}
+
+TEST(Builders, PaperTestbedShape) {
+  TestbedIds ids;
+  auto t = make_paper_testbed(&ids);
+  EXPECT_EQ(t.switch_count(), 2u);
+  EXPECT_EQ(t.host_count(), 3u);
+  EXPECT_NO_THROW(t.validate());
+  // host1 on a LAN link, the others on SAN links.
+  EXPECT_EQ(t.link(*t.link_at(host_id(ids.host1), 0)).kind, PortKind::kLan);
+  EXPECT_EQ(t.link(*t.link_at(host_id(ids.in_transit), 0)).kind, PortKind::kSan);
+  EXPECT_EQ(t.link(*t.link_at(host_id(ids.host2), 0)).kind, PortKind::kSan);
+  // The loopback cable on switch 2 exists.
+  auto loop = t.peer(switch_id(ids.switch2), 7);
+  ASSERT_TRUE(loop.has_value());
+  EXPECT_EQ(loop->node, switch_id(ids.switch2));
+}
+
+TEST(Builders, Fig1NetworkShape) {
+  auto t = make_fig1_network();
+  EXPECT_EQ(t.switch_count(), 8u);
+  EXPECT_EQ(t.host_count(), 8u);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Builders, LinearChain) {
+  auto t = make_linear(4, 2);
+  EXPECT_EQ(t.switch_count(), 4u);
+  EXPECT_EQ(t.host_count(), 8u);
+  EXPECT_NO_THROW(t.validate());
+  // Host 0 lives on switch 0, host 7 on switch 3.
+  EXPECT_EQ(t.host_uplink(0).node, switch_id(0));
+  EXPECT_EQ(t.host_uplink(7).node, switch_id(3));
+}
+
+TEST(Builders, RandomIrregularIsValidAndDeterministic) {
+  itb::sim::Rng rng1(1234), rng2(1234);
+  IrregularSpec spec;
+  spec.switches = 12;
+  spec.hosts_per_switch = 3;
+  auto a = make_random_irregular(spec, rng1);
+  auto b = make_random_irregular(spec, rng2);
+  EXPECT_NO_THROW(a.validate());
+  EXPECT_EQ(a.switch_count(), 12u);
+  EXPECT_EQ(a.host_count(), 36u);
+  EXPECT_EQ(a.link_count(), b.link_count());
+  for (LinkId i = 0; i < a.link_count(); ++i) {
+    EXPECT_EQ(a.link(i).a, b.link(i).a);
+    EXPECT_EQ(a.link(i).b, b.link(i).b);
+  }
+}
+
+TEST(Builders, RandomIrregularVariesAcrossSeeds) {
+  itb::sim::Rng rng1(1), rng2(2);
+  IrregularSpec spec;
+  spec.switches = 12;
+  auto a = make_random_irregular(spec, rng1);
+  auto b = make_random_irregular(spec, rng2);
+  bool differs = a.link_count() != b.link_count();
+  for (LinkId i = 0; !differs && i < a.link_count(); ++i)
+    differs = !(a.link(i).a == b.link(i).a && a.link(i).b == b.link(i).b);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Builders, RandomIrregularRejectsNoTrunkPorts) {
+  itb::sim::Rng rng(1);
+  IrregularSpec spec;
+  spec.ports = 4;
+  spec.hosts_per_switch = 4;
+  EXPECT_THROW(make_random_irregular(spec, rng), std::invalid_argument);
+}
+
+TEST(NodeIdToString, Readable) {
+  EXPECT_EQ(to_string(switch_id(3)), "s3");
+  EXPECT_EQ(to_string(host_id(7)), "h7");
+}
+
+}  // namespace
