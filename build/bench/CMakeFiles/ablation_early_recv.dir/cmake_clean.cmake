@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_early_recv.dir/ablation_early_recv.cpp.o"
+  "CMakeFiles/ablation_early_recv.dir/ablation_early_recv.cpp.o.d"
+  "ablation_early_recv"
+  "ablation_early_recv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_early_recv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_port_kinds.dir/ablation_port_kinds.cpp.o"
+  "CMakeFiles/ablation_port_kinds.dir/ablation_port_kinds.cpp.o.d"
+  "ablation_port_kinds"
+  "ablation_port_kinds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_port_kinds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_routing_opts.dir/ablation_routing_opts.cpp.o"
+  "CMakeFiles/ablation_routing_opts.dir/ablation_routing_opts.cpp.o.d"
+  "ablation_routing_opts"
+  "ablation_routing_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_routing_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

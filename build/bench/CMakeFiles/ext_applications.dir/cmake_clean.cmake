@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_applications.dir/ext_applications.cpp.o"
+  "CMakeFiles/ext_applications.dir/ext_applications.cpp.o.d"
+  "ext_applications"
+  "ext_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

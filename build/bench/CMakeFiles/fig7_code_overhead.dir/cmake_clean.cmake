@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_code_overhead.dir/fig7_code_overhead.cpp.o"
+  "CMakeFiles/fig7_code_overhead.dir/fig7_code_overhead.cpp.o.d"
+  "fig7_code_overhead"
+  "fig7_code_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_code_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_throughput.dir/motivation_throughput.cpp.o"
+  "CMakeFiles/motivation_throughput.dir/motivation_throughput.cpp.o.d"
+  "motivation_throughput"
+  "motivation_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cow_tool.dir/cow_tool.cpp.o"
+  "CMakeFiles/cow_tool.dir/cow_tool.cpp.o.d"
+  "cow_tool"
+  "cow_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cow_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

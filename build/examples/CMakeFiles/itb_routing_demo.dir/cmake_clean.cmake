@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_routing_demo.dir/itb_routing_demo.cpp.o"
+  "CMakeFiles/itb_routing_demo.dir/itb_routing_demo.cpp.o.d"
+  "itb_routing_demo"
+  "itb_routing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_routing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/latency_breakdown.cpp" "examples/CMakeFiles/latency_breakdown.dir/latency_breakdown.cpp.o" "gcc" "examples/CMakeFiles/latency_breakdown.dir/latency_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/itb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/itb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/itb_gm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/itb_mapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/itb_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/itb_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/itb_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/itb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/itb_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/itb_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/itb_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/itb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapper_demo.dir/mapper_demo.cpp.o"
+  "CMakeFiles/mapper_demo.dir/mapper_demo.cpp.o.d"
+  "mapper_demo"
+  "mapper_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapper_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

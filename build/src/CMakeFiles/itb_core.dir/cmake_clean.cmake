@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_core.dir/itb/core/cluster.cpp.o"
+  "CMakeFiles/itb_core.dir/itb/core/cluster.cpp.o.d"
+  "CMakeFiles/itb_core.dir/itb/core/experiments.cpp.o"
+  "CMakeFiles/itb_core.dir/itb/core/experiments.cpp.o.d"
+  "libitb_core.a"
+  "libitb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_gm.dir/itb/gm/header.cpp.o"
+  "CMakeFiles/itb_gm.dir/itb/gm/header.cpp.o.d"
+  "CMakeFiles/itb_gm.dir/itb/gm/port.cpp.o"
+  "CMakeFiles/itb_gm.dir/itb/gm/port.cpp.o.d"
+  "libitb_gm.a"
+  "libitb_gm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_gm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

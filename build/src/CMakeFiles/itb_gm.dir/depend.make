@@ -1,0 +1,2 @@
+# Empty dependencies file for itb_gm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_host.dir/itb/host/pci.cpp.o"
+  "CMakeFiles/itb_host.dir/itb/host/pci.cpp.o.d"
+  "libitb_host.a"
+  "libitb_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_ip.dir/itb/ip/datagram.cpp.o"
+  "CMakeFiles/itb_ip.dir/itb/ip/datagram.cpp.o.d"
+  "CMakeFiles/itb_ip.dir/itb/ip/stack.cpp.o"
+  "CMakeFiles/itb_ip.dir/itb/ip/stack.cpp.o.d"
+  "libitb_ip.a"
+  "libitb_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_mapper.dir/itb/mapper/mapper.cpp.o"
+  "CMakeFiles/itb_mapper.dir/itb/mapper/mapper.cpp.o.d"
+  "libitb_mapper.a"
+  "libitb_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_nic.dir/itb/nic/lanai.cpp.o"
+  "CMakeFiles/itb_nic.dir/itb/nic/lanai.cpp.o.d"
+  "CMakeFiles/itb_nic.dir/itb/nic/mux.cpp.o"
+  "CMakeFiles/itb_nic.dir/itb/nic/mux.cpp.o.d"
+  "CMakeFiles/itb_nic.dir/itb/nic/nic.cpp.o"
+  "CMakeFiles/itb_nic.dir/itb/nic/nic.cpp.o.d"
+  "libitb_nic.a"
+  "libitb_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_packet.dir/itb/packet/crc.cpp.o"
+  "CMakeFiles/itb_packet.dir/itb/packet/crc.cpp.o.d"
+  "CMakeFiles/itb_packet.dir/itb/packet/format.cpp.o"
+  "CMakeFiles/itb_packet.dir/itb/packet/format.cpp.o.d"
+  "libitb_packet.a"
+  "libitb_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

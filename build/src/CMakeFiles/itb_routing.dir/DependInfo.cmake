@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/itb/routing/deadlock.cpp" "src/CMakeFiles/itb_routing.dir/itb/routing/deadlock.cpp.o" "gcc" "src/CMakeFiles/itb_routing.dir/itb/routing/deadlock.cpp.o.d"
+  "/root/repo/src/itb/routing/paths.cpp" "src/CMakeFiles/itb_routing.dir/itb/routing/paths.cpp.o" "gcc" "src/CMakeFiles/itb_routing.dir/itb/routing/paths.cpp.o.d"
+  "/root/repo/src/itb/routing/table.cpp" "src/CMakeFiles/itb_routing.dir/itb/routing/table.cpp.o" "gcc" "src/CMakeFiles/itb_routing.dir/itb/routing/table.cpp.o.d"
+  "/root/repo/src/itb/routing/updown.cpp" "src/CMakeFiles/itb_routing.dir/itb/routing/updown.cpp.o" "gcc" "src/CMakeFiles/itb_routing.dir/itb/routing/updown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/itb_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/itb_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/itb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_routing.dir/itb/routing/deadlock.cpp.o"
+  "CMakeFiles/itb_routing.dir/itb/routing/deadlock.cpp.o.d"
+  "CMakeFiles/itb_routing.dir/itb/routing/paths.cpp.o"
+  "CMakeFiles/itb_routing.dir/itb/routing/paths.cpp.o.d"
+  "CMakeFiles/itb_routing.dir/itb/routing/table.cpp.o"
+  "CMakeFiles/itb_routing.dir/itb/routing/table.cpp.o.d"
+  "CMakeFiles/itb_routing.dir/itb/routing/updown.cpp.o"
+  "CMakeFiles/itb_routing.dir/itb/routing/updown.cpp.o.d"
+  "libitb_routing.a"
+  "libitb_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

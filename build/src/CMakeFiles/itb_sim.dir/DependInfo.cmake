@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/itb/sim/event_queue.cpp" "src/CMakeFiles/itb_sim.dir/itb/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/itb_sim.dir/itb/sim/event_queue.cpp.o.d"
+  "/root/repo/src/itb/sim/rng.cpp" "src/CMakeFiles/itb_sim.dir/itb/sim/rng.cpp.o" "gcc" "src/CMakeFiles/itb_sim.dir/itb/sim/rng.cpp.o.d"
+  "/root/repo/src/itb/sim/stats.cpp" "src/CMakeFiles/itb_sim.dir/itb/sim/stats.cpp.o" "gcc" "src/CMakeFiles/itb_sim.dir/itb/sim/stats.cpp.o.d"
+  "/root/repo/src/itb/sim/trace.cpp" "src/CMakeFiles/itb_sim.dir/itb/sim/trace.cpp.o" "gcc" "src/CMakeFiles/itb_sim.dir/itb/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_sim.dir/itb/sim/event_queue.cpp.o"
+  "CMakeFiles/itb_sim.dir/itb/sim/event_queue.cpp.o.d"
+  "CMakeFiles/itb_sim.dir/itb/sim/rng.cpp.o"
+  "CMakeFiles/itb_sim.dir/itb/sim/rng.cpp.o.d"
+  "CMakeFiles/itb_sim.dir/itb/sim/stats.cpp.o"
+  "CMakeFiles/itb_sim.dir/itb/sim/stats.cpp.o.d"
+  "CMakeFiles/itb_sim.dir/itb/sim/trace.cpp.o"
+  "CMakeFiles/itb_sim.dir/itb/sim/trace.cpp.o.d"
+  "libitb_sim.a"
+  "libitb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

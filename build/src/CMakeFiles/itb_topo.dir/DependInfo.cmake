@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/itb/topo/builders.cpp" "src/CMakeFiles/itb_topo.dir/itb/topo/builders.cpp.o" "gcc" "src/CMakeFiles/itb_topo.dir/itb/topo/builders.cpp.o.d"
+  "/root/repo/src/itb/topo/parse.cpp" "src/CMakeFiles/itb_topo.dir/itb/topo/parse.cpp.o" "gcc" "src/CMakeFiles/itb_topo.dir/itb/topo/parse.cpp.o.d"
+  "/root/repo/src/itb/topo/topology.cpp" "src/CMakeFiles/itb_topo.dir/itb/topo/topology.cpp.o" "gcc" "src/CMakeFiles/itb_topo.dir/itb/topo/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/itb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_workload.dir/itb/workload/apps.cpp.o"
+  "CMakeFiles/itb_workload.dir/itb/workload/apps.cpp.o.d"
+  "CMakeFiles/itb_workload.dir/itb/workload/load.cpp.o"
+  "CMakeFiles/itb_workload.dir/itb/workload/load.cpp.o.d"
+  "CMakeFiles/itb_workload.dir/itb/workload/pingpong.cpp.o"
+  "CMakeFiles/itb_workload.dir/itb/workload/pingpong.cpp.o.d"
+  "libitb_workload.a"
+  "libitb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

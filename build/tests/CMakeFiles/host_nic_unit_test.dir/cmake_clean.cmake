@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_nic_unit_test.dir/host_nic_unit_test.cpp.o"
+  "CMakeFiles/host_nic_unit_test.dir/host_nic_unit_test.cpp.o.d"
+  "host_nic_unit_test"
+  "host_nic_unit_test.pdb"
+  "host_nic_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_nic_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itb_chain_test.dir/itb_chain_test.cpp.o"
+  "CMakeFiles/itb_chain_test.dir/itb_chain_test.cpp.o.d"
+  "itb_chain_test"
+  "itb_chain_test.pdb"
+  "itb_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itb_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_families_test.dir/topo_families_test.cpp.o"
+  "CMakeFiles/topo_families_test.dir/topo_families_test.cpp.o.d"
+  "topo_families_test"
+  "topo_families_test.pdb"
+  "topo_families_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_families_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormhole_deadlock_test.dir/wormhole_deadlock_test.cpp.o"
+  "CMakeFiles/wormhole_deadlock_test.dir/wormhole_deadlock_test.cpp.o.d"
+  "wormhole_deadlock_test"
+  "wormhole_deadlock_test.pdb"
+  "wormhole_deadlock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormhole_deadlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
