@@ -6,9 +6,16 @@
 // This bench loads one in-transit host with converging ITB traffic and
 // sweeps the pool size in both modes, reporting drops, retransmissions and
 // total completion time for a fixed work quantum.
+//
+// `--json <path>` additionally writes an itb.telemetry.v1 report: the
+// outcome table, per-configuration send-to-ack latency histograms, and
+// utilization series + counters per configuration (runs like "drop_b4").
 #include <cstdio>
+#include <functional>
+#include <memory>
 
 #include "itb/core/cluster.hpp"
+#include "itb/telemetry/export.hpp"
 #include "itb/workload/load.hpp"
 
 namespace {
@@ -16,16 +23,21 @@ namespace {
 using namespace itb;
 
 struct Outcome {
-  sim::Time makespan;
-  std::uint64_t drops;
-  std::uint64_t retransmissions;
-  std::uint64_t itb_forwarded;
+  sim::Time makespan = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t itb_forwarded = 0;
+  /// Send-call to acknowledgement (token return) per message, ns. Under
+  /// drops this includes the retransmission stalls — the latency price of
+  /// the smaller pool.
+  telemetry::LatencyHistogram send_to_ack;
 };
 
 /// Star topology stressing one in-transit host: four sources on switch 0,
 /// four sinks on switch 1; every route is forced through the ITB host h8
 /// on switch 0, so its NIC forwards every packet.
-Outcome run(int recv_buffers, bool drop_when_full) {
+Outcome run(int recv_buffers, bool drop_when_full,
+            telemetry::BenchReport* report, const std::string& tag) {
   topo::Topology topo;
   topo.add_switch(16);
   topo.add_switch(16);
@@ -55,37 +67,62 @@ Outcome run(int recv_buffers, bool drop_when_full) {
   cfg.manual_routes = std::move(r);
   core::Cluster cluster(std::move(cfg));
 
+  Outcome out;
+  if (report) cluster.telemetry().start_sampling();
+
   // Each source sends 30 x 2 KB messages as fast as tokens allow.
   int remaining = 4 * 30;
   for (std::uint16_t s = 0; s < 4; ++s) {
     const std::uint16_t d = static_cast<std::uint16_t>(s + 4);
+    // Makespan = last delivery (not drain time: the sampler's final tick
+    // would otherwise pad it in --json runs).
     cluster.port(d).set_receive_handler(
-        [&remaining](sim::Time, std::uint16_t, packet::Bytes) { --remaining; });
+        [&remaining, &out](sim::Time t, std::uint16_t, packet::Bytes) {
+          if (--remaining == 0) out.makespan = t;
+        });
     auto sent = std::make_shared<int>(0);
     auto feed = std::make_shared<std::function<void()>>();
-    *feed = [&cluster, s, d, sent, feed] {
+    *feed = [&cluster, &out, s, d, sent, feed] {
       auto& port = cluster.port(s);
-      while (*sent < 30 && port.send(d, packet::Bytes(2048, 1))) ++*sent;
+      while (*sent < 30) {
+        const sim::Time t0 = cluster.queue().now();
+        if (!port.send(d, packet::Bytes(2048, 1), [&out, t0](sim::Time t) {
+              out.send_to_ack.add(static_cast<double>(t - t0));
+            }))
+          break;
+        ++*sent;
+      }
       if (*sent < 30) cluster.queue().schedule_in(100 * sim::kUs, *feed);
     };
     (*feed)();
   }
   cluster.run();
 
-  Outcome out;
-  out.makespan = cluster.queue().now();
   out.drops = cluster.nic(8).stats().dropped_no_buffer;
   out.itb_forwarded = cluster.nic(8).stats().itb_forwarded;
   out.retransmissions = 0;
   for (std::uint16_t s = 0; s < 4; ++s)
     out.retransmissions += cluster.port(s).stats().retransmissions;
   if (remaining != 0) out.makespan = -1;  // did not complete (diagnostic)
+
+  if (report) {
+    cluster.telemetry().stop_sampling();
+    report->add_histogram("send_to_ack", tag, out.send_to_ack);
+    report->add_counters(tag, cluster.telemetry().registry());
+    report->add_series(tag, cluster.telemetry().sampler());
+  }
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto json_path = telemetry::json_flag(argc, argv);
+  telemetry::BenchReport report("ablation_buffer_pool");
+  report.set_param("messages", 4 * 30);
+  report.set_param("message_bytes", 2048);
+  telemetry::BenchReport* rp = json_path ? &report : nullptr;
+
   std::printf("Ablation: receive buffering at the in-transit host\n");
   std::printf("(4 sources -> 4 sinks, every packet forwarded by one ITB "
               "host, 120 x 2KB messages)\n\n");
@@ -93,13 +130,24 @@ int main() {
               "makespan(us)", "drops", "rexmit", "forwarded");
   for (bool drop : {false, true}) {
     for (int buffers : {2, 4, 8, 16}) {
-      auto o = run(buffers, drop);
+      const std::string mode = drop ? "drop" : "backpressure";
+      const std::string tag = mode + "_b" + std::to_string(buffers);
+      auto o = run(buffers, drop, rp, tag);
       std::printf("%8d %12s | %12.1f %8llu %10llu %10llu\n", buffers,
-                  drop ? "drop" : "backpressure",
-                  static_cast<double>(o.makespan) / 1000.0,
+                  mode.c_str(), static_cast<double>(o.makespan) / 1000.0,
                   static_cast<unsigned long long>(o.drops),
                   static_cast<unsigned long long>(o.retransmissions),
                   static_cast<unsigned long long>(o.itb_forwarded));
+      telemetry::BenchReport::Row row;
+      row.text["mode"] = mode;
+      row.num["buffers"] = buffers;
+      row.num["makespan_ns"] = static_cast<double>(o.makespan);
+      row.num["drops"] = static_cast<double>(o.drops);
+      row.num["retransmissions"] = static_cast<double>(o.retransmissions);
+      row.num["itb_forwarded"] = static_cast<double>(o.itb_forwarded);
+      row.num["send_to_ack_p50_ns"] = o.send_to_ack.percentile(50);
+      row.num["send_to_ack_p99_ns"] = o.send_to_ack.percentile(99);
+      report.add_row("outcomes", std::move(row));
     }
   }
   std::printf("\nExpected: backpressure never drops (Stop&Go stalls the "
@@ -107,5 +155,13 @@ int main() {
               "GM retransmission recovers them at a\nmakespan cost; larger "
               "pools eliminate drops (the paper notes 8 MB of NIC\nSRAM "
               "makes overflow 'very unusual').\n");
+
+  if (json_path) {
+    if (!report.write(*json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
+      return 1;
+    }
+    std::printf("\nJSON report written to %s\n", json_path->c_str());
+  }
   return 0;
 }

@@ -5,29 +5,59 @@
 //   * Recv-side re-injection (the Recv machine programs the send DMA
 //     itself) vs going back through the event handler: one dispatching
 //     cycle of difference, constant in message length.
+//
+// `--json <path>` additionally writes an itb.telemetry.v1 report: the
+// overhead table, half-RTT histograms per configuration, and — for the
+// paper MCP only — the ITB-path cluster's utilization series and counters.
 #include <cstdio>
 
 #include "itb/core/experiments.hpp"
+#include "itb/telemetry/export.hpp"
 #include "itb/workload/pingpong.hpp"
 
 namespace {
 
 using namespace itb;
 
-double itb_overhead_ns(const nic::McpOptions& options, std::size_t size) {
+double itb_overhead_ns(const nic::McpOptions& options, std::size_t size,
+                       telemetry::BenchReport* report, const char* run) {
   auto ud = core::make_fig8_cluster(false, options);
   auto itb = core::make_fig8_cluster(true, options);
+  const bool sample = report != nullptr;
+  if (sample) itb->telemetry().start_sampling();
   auto a = workload::run_pingpong(ud->queue(), ud->port(core::kHost1),
                                   ud->port(core::kHost2), size, 20);
-  auto b = workload::run_pingpong(itb->queue(), itb->port(core::kHost1),
-                                  itb->port(core::kHost2), size, 20);
+  workload::AllsizeConfig cfg;
+  cfg.iterations = 20;
+  cfg.sizes = {size};
+  if (sample) cfg.sampler = &itb->telemetry().sampler();
+  auto b = workload::run_allsize(itb->queue(), itb->port(core::kHost1),
+                                 itb->port(core::kHost2), cfg)
+               .front();
+  if (report) {
+    const std::string tag = std::string(run) + "_" + std::to_string(size) + "B";
+    report->add_histogram("ud_half_rtt", tag, a.hist);
+    report->add_histogram("itb_half_rtt", tag, b.hist);
+    itb->telemetry().stop_sampling();
+    // Series from every configuration would be repetitive; keep the paper
+    // MCP's as the reference picture of the ITB path under ping-pong.
+    if (std::string_view(run) == "paper") {
+      report->add_counters(tag, itb->telemetry().registry());
+      report->add_series(tag, itb->telemetry().sampler());
+    }
+  }
   return 2.0 * (b.half_rtt_ns - a.half_rtt_ns);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto json_path = telemetry::json_flag(argc, argv);
   const std::size_t sizes[] = {16, 256, 1024, 4000};
+
+  telemetry::BenchReport report("ablation_early_recv");
+  report.set_param("iterations", 20);
+  telemetry::BenchReport* rp = json_path ? &report : nullptr;
 
   std::printf("Ablation: Early Recv event and Recv-side re-injection\n");
   std::printf("(per-ITB overhead in us, Fig. 8 methodology)\n\n");
@@ -43,16 +73,33 @@ int main() {
     neither.early_recv = false;
     neither.recv_side_reinjection = false;
 
-    std::printf("%10zu %12.3f %14.3f %16.3f %18.3f\n", size,
-                itb_overhead_ns(paper, size) / 1000.0,
-                itb_overhead_ns(late, size) / 1000.0,
-                itb_overhead_ns(dispatch, size) / 1000.0,
-                itb_overhead_ns(neither, size) / 1000.0);
+    const double o_paper = itb_overhead_ns(paper, size, rp, "paper");
+    const double o_late = itb_overhead_ns(late, size, rp, "no_early_recv");
+    const double o_dispatch =
+        itb_overhead_ns(dispatch, size, rp, "no_recv_side");
+    const double o_neither = itb_overhead_ns(neither, size, rp, "neither");
+    std::printf("%10zu %12.3f %14.3f %16.3f %18.3f\n", size, o_paper / 1000.0,
+                o_late / 1000.0, o_dispatch / 1000.0, o_neither / 1000.0);
+    telemetry::BenchReport::Row row;
+    row.num["size_bytes"] = static_cast<double>(size);
+    row.num["paper_mcp_ns"] = o_paper;
+    row.num["no_early_recv_ns"] = o_late;
+    row.num["no_recv_side_ns"] = o_dispatch;
+    row.num["neither_ns"] = o_neither;
+    report.add_row("per_itb_overhead", std::move(row));
   }
   std::printf("\nExpected: the paper MCP is flat (~1.3 us); dropping Early "
               "Recv makes the\noverhead grow with message size "
               "(store-and-forward); dropping Recv-side\nre-injection adds "
               "one dispatch cycle (%d LANai cycles).\n",
               nic::LanaiTiming{}.dispatch);
+
+  if (json_path) {
+    if (!report.write(*json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
+      return 1;
+    }
+    std::printf("\nJSON report written to %s\n", json_path->c_str());
+  }
   return 0;
 }

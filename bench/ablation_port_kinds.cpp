@@ -3,17 +3,25 @@
 // build both measurement paths over the same port-kind multiset. This
 // bench quantifies the effect by timing the same 2-switch path with every
 // LAN/SAN combination of host links.
+//
+// `--json <path>` additionally writes an itb.telemetry.v1 report: the
+// combination table plus a half-RTT histogram and utilization series per
+// combination (runs like "san_lan_san" for src_trunk_dst).
 #include <cstdio>
+#include <string>
 
 #include "itb/core/cluster.hpp"
+#include "itb/telemetry/export.hpp"
 #include "itb/workload/pingpong.hpp"
 
 namespace {
 
 using namespace itb;
 
-double half_rtt_us(topo::PortKind src_kind, topo::PortKind dst_kind,
-                   topo::PortKind trunk_kind, std::size_t size) {
+workload::AllsizeRow measure(topo::PortKind src_kind, topo::PortKind dst_kind,
+                             topo::PortKind trunk_kind, std::size_t size,
+                             telemetry::BenchReport* report,
+                             const std::string& tag) {
   topo::Topology topo;
   topo.add_switch(8);
   topo.add_switch(8);
@@ -26,18 +34,38 @@ double half_rtt_us(topo::PortKind src_kind, topo::PortKind dst_kind,
   core::ClusterConfig cfg;
   cfg.topology = std::move(topo);
   core::Cluster cluster(std::move(cfg));
-  auto row = workload::run_pingpong(cluster.queue(), cluster.port(0),
-                                    cluster.port(1), size, 20);
-  return row.half_rtt_ns / 1000.0;
+  workload::AllsizeConfig acfg;
+  acfg.iterations = 20;
+  acfg.sizes = {size};
+  if (report) {
+    acfg.sampler = &cluster.telemetry().sampler();
+    cluster.telemetry().start_sampling();
+  }
+  auto row = workload::run_allsize(cluster.queue(), cluster.port(0),
+                                   cluster.port(1), acfg)
+                 .front();
+  if (report) {
+    cluster.telemetry().stop_sampling();
+    report->add_histogram("half_rtt", tag, row.hist);
+    report->add_counters(tag, cluster.telemetry().registry());
+    report->add_series(tag, cluster.telemetry().sampler());
+  }
+  return row;
 }
 
 const char* name(topo::PortKind k) { return topo::to_string(k); }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using topo::PortKind;
+  const auto json_path = telemetry::json_flag(argc, argv);
   const std::size_t size = 256;
+
+  telemetry::BenchReport report("ablation_port_kinds");
+  report.set_param("message_bytes", static_cast<double>(size));
+  report.set_param("iterations", 20);
+  telemetry::BenchReport* rp = json_path ? &report : nullptr;
 
   std::printf("Ablation: switch latency by traversed port kinds\n");
   std::printf("(2-switch path, 256 B ping-pong, LAN ports re-time the "
@@ -46,12 +74,31 @@ int main() {
   for (auto src : {PortKind::kSan, PortKind::kLan})
     for (auto trunk : {PortKind::kSan, PortKind::kLan})
       for (auto dst : {PortKind::kSan, PortKind::kLan}) {
+        const std::string tag = std::string(name(src)) + "_" + name(trunk) +
+                                "_" + name(dst);
+        auto row = measure(src, dst, trunk, size, rp, tag);
         std::printf("%8s %8s %8s %14.3f\n", name(src), name(trunk), name(dst),
-                    half_rtt_us(src, trunk, dst, size));
+                    row.half_rtt_ns / 1000.0);
+        telemetry::BenchReport::Row r;
+        r.text["src"] = name(src);
+        r.text["trunk"] = name(trunk);
+        r.text["dst"] = name(dst);
+        r.num["half_rtt_ns"] = row.half_rtt_ns;
+        r.num["p50_ns"] = row.p50_ns;
+        r.num["p99_ns"] = row.p99_ns;
+        report.add_row("combinations", std::move(r));
       }
   std::printf("\nEach LAN port on the path adds a fixed re-timing penalty "
               "per traversal\n(default %lld ns); trunk LAN links are "
               "crossed by two fall-throughs and pay twice.\n",
               static_cast<long long>(net::NetTiming{}.lan_port_penalty_ns));
+
+  if (json_path) {
+    if (!report.write(*json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
+      return 1;
+    }
+    std::printf("\nJSON report written to %s\n", json_path->c_str());
+  }
   return 0;
 }

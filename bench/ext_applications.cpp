@@ -4,10 +4,17 @@
 // Three communication skeletons run to completion on a 32-switch irregular
 // COW under both routing policies; the reported metric is wall-clock
 // execution time of the kernel (simulated), not network throughput.
+//
+// `--json <path>` additionally writes an itb.telemetry.v1 report: the
+// kernel table plus utilization series and registry counters per
+// kernel/policy combination (runs like "all_to_all_itb").
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <string>
 
 #include "itb/core/cluster.hpp"
+#include "itb/telemetry/export.hpp"
 #include "itb/workload/apps.hpp"
 
 namespace {
@@ -30,7 +37,25 @@ std::unique_ptr<core::Cluster> make_cluster(routing::Policy policy,
   cfg.gm_config.send_tokens = 64;
   cfg.gm_config.window = 32;
   cfg.gm_config.retransmit_timeout = 50 * sim::kMs;  // patient: ack RTT is large under bursts
+  cfg.telemetry_sample_period = 500 * sim::kUs;
   return std::make_unique<core::Cluster>(std::move(cfg));
+}
+
+telemetry::BenchReport* g_report = nullptr;
+
+workload::AppResult run_kernel(
+    const char* kernel, core::Cluster& cluster, routing::Policy policy,
+    const std::function<workload::AppResult(core::Cluster&)>& body) {
+  if (g_report) cluster.telemetry().start_sampling();
+  auto result = body(cluster);
+  if (g_report) {
+    cluster.telemetry().stop_sampling();
+    const std::string tag = std::string(kernel) + "_" +
+                            (policy == routing::Policy::kItb ? "itb" : "ud");
+    g_report->add_counters(tag, cluster.telemetry().registry());
+    g_report->add_series(tag, cluster.telemetry().sampler());
+  }
+  return result;
 }
 
 void report(const char* kernel, workload::AppResult ud,
@@ -42,12 +67,27 @@ void report(const char* kernel, workload::AppResult ud,
                   static_cast<double>(itb.makespan),
               static_cast<unsigned long long>(ud.messages),
               static_cast<double>(ud.bytes) / 1e6);
+  if (g_report) {
+    telemetry::BenchReport::Row row;
+    row.text["kernel"] = kernel;
+    row.num["ud_makespan_ns"] = static_cast<double>(ud.makespan);
+    row.num["itb_makespan_ns"] = static_cast<double>(itb.makespan);
+    row.num["speedup"] = static_cast<double>(ud.makespan) /
+                         static_cast<double>(itb.makespan);
+    row.num["messages"] = static_cast<double>(ud.messages);
+    row.num["bytes"] = static_cast<double>(ud.bytes);
+    g_report->add_row("kernels", std::move(row));
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto json_path = telemetry::json_flag(argc, argv);
+  telemetry::BenchReport bench_report("ext_applications");
+  if (json_path) g_report = &bench_report;
   const std::uint64_t seed = 1977;
+  bench_report.set_param("seed", static_cast<double>(seed));
 
   std::printf("Extension: distributed-application kernels, 32-switch "
               "irregular COW, 128 hosts\n");
@@ -58,27 +98,44 @@ int main() {
   {
     auto ud = make_cluster(routing::Policy::kUpDown, seed);
     auto itb = make_cluster(routing::Policy::kItb, seed);
-    report("all-to-all",
-           workload::run_all_to_all(ud->queue(), ud->ports(), 2048, 1),
-           workload::run_all_to_all(itb->queue(), itb->ports(), 2048, 1));
+    auto body = [](core::Cluster& c) {
+      return workload::run_all_to_all(c.queue(), c.ports(), 2048, 1);
+    };
+    report("all_to_all",
+           run_kernel("all_to_all", *ud, routing::Policy::kUpDown, body),
+           run_kernel("all_to_all", *itb, routing::Policy::kItb, body));
   }
   {
     auto ud = make_cluster(routing::Policy::kUpDown, seed);
     auto itb = make_cluster(routing::Policy::kItb, seed);
-    report("ring exchange",
-           workload::run_ring_exchange(ud->queue(), ud->ports(), 4096, 8),
-           workload::run_ring_exchange(itb->queue(), itb->ports(), 4096, 8));
+    auto body = [](core::Cluster& c) {
+      return workload::run_ring_exchange(c.queue(), c.ports(), 4096, 8);
+    };
+    report("ring_exchange",
+           run_kernel("ring_exchange", *ud, routing::Policy::kUpDown, body),
+           run_kernel("ring_exchange", *itb, routing::Policy::kItb, body));
   }
   {
     auto ud = make_cluster(routing::Policy::kUpDown, seed);
     auto itb = make_cluster(routing::Policy::kItb, seed);
-    report("master/worker",
-           workload::run_master_worker(ud->queue(), ud->ports(), 2048, 256, 4),
-           workload::run_master_worker(itb->queue(), itb->ports(), 2048, 256, 4));
+    auto body = [](core::Cluster& c) {
+      return workload::run_master_worker(c.queue(), c.ports(), 2048, 256, 4);
+    };
+    report("master_worker",
+           run_kernel("master_worker", *ud, routing::Policy::kUpDown, body),
+           run_kernel("master_worker", *itb, routing::Policy::kItb, body));
   }
 
   std::printf("\nExpected: the bursty all-to-all gains most (root "
               "decongestion); the ring is\nlatency-bound and nearly "
               "unaffected; master/worker sits in between.\n");
+
+  if (json_path) {
+    if (!bench_report.write(*json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
+      return 1;
+    }
+    std::printf("\nJSON report written to %s\n", json_path->c_str());
+  }
   return 0;
 }

@@ -5,13 +5,38 @@
 // iterations per size, original vs modified MCP. The paper reports the
 // latency difference "does not exceed 300 ns and, on average, is equal to
 // 125 ns", with relative overhead falling from ~1% (short) to ~0.4% (long).
+//
+// `--json <path>` additionally writes an itb.telemetry.v1 report: the
+// per-size table, half-RTT histograms and per-channel utilization series
+// for both MCPs (runs "orig" and "mod").
 #include <cstdio>
 
 #include "itb/core/experiments.hpp"
+#include "itb/telemetry/export.hpp"
 #include "itb/workload/pingpong.hpp"
 
-int main() {
+namespace {
+
+using namespace itb;
+
+std::vector<workload::AllsizeRow> run(core::Cluster& cluster,
+                                      workload::AllsizeConfig cfg,
+                                      bool sample) {
+  if (sample) {
+    cfg.sampler = &cluster.telemetry().sampler();
+    cluster.telemetry().start_sampling();
+  }
+  auto rows = workload::run_allsize(cluster.queue(), cluster.port(core::kHost1),
+                                    cluster.port(core::kHost2), cfg);
+  if (sample) cluster.telemetry().stop_sampling();
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace itb;
+  const auto json_path = telemetry::json_flag(argc, argv);
 
   workload::AllsizeConfig cfg;
   cfg.iterations = 100;
@@ -21,15 +46,15 @@ int main() {
   auto orig = core::make_fig7_cluster(/*modified_mcp=*/false);
   auto mod = core::make_fig7_cluster(/*modified_mcp=*/true);
 
-  auto rows_orig = workload::run_allsize(orig->queue(), orig->port(core::kHost1),
-                                         orig->port(core::kHost2), cfg);
-  auto rows_mod = workload::run_allsize(mod->queue(), mod->port(core::kHost1),
-                                        mod->port(core::kHost2), cfg);
+  auto rows_orig = run(*orig, cfg, json_path.has_value());
+  auto rows_mod = run(*mod, cfg, json_path.has_value());
 
   std::printf("Figure 7: message latency overhead of the new GM/MCP code\n");
   std::printf("(half-round-trip, host1 <-> host2, up*/down* routes, 100 iters)\n\n");
   std::printf("%10s %14s %14s %12s %10s\n", "size(B)", "original(us)",
               "modified(us)", "delta(ns)", "rel(%)");
+  telemetry::BenchReport report("fig7_code_overhead");
+  report.set_param("iterations", cfg.iterations);
   double sum_delta = 0, max_delta = 0;
   for (std::size_t i = 0; i < rows_orig.size(); ++i) {
     const double a = rows_orig[i].half_rtt_ns;
@@ -39,10 +64,37 @@ int main() {
     if (delta > max_delta) max_delta = delta;
     std::printf("%10zu %14.2f %14.2f %12.1f %10.2f\n", rows_orig[i].size,
                 a / 1000.0, b / 1000.0, delta, 100.0 * delta / a);
+    telemetry::BenchReport::Row row;
+    row.num["size_bytes"] = static_cast<double>(rows_orig[i].size);
+    row.num["orig_half_rtt_ns"] = a;
+    row.num["mod_half_rtt_ns"] = b;
+    row.num["orig_p99_ns"] = rows_orig[i].p99_ns;
+    row.num["mod_p99_ns"] = rows_mod[i].p99_ns;
+    row.num["delta_ns"] = delta;
+    row.num["rel_percent"] = 100.0 * delta / a;
+    report.add_row("overhead", std::move(row));
+    const std::string hist_name =
+        "half_rtt_" + std::to_string(rows_orig[i].size) + "B";
+    report.add_histogram(hist_name, "orig", rows_orig[i].hist);
+    report.add_histogram(hist_name, "mod", rows_mod[i].hist);
   }
-  std::printf("\naverage delta: %.1f ns   (paper: ~125 ns)\n",
-              sum_delta / static_cast<double>(rows_orig.size()));
+  const double avg_delta = sum_delta / static_cast<double>(rows_orig.size());
+  std::printf("\naverage delta: %.1f ns   (paper: ~125 ns)\n", avg_delta);
   std::printf("maximum delta: %.1f ns   (paper: < 300 ns)\n", max_delta);
   std::printf("relative overhead falls with size (paper: ~1%% -> ~0.4%%)\n");
+
+  if (json_path) {
+    report.add_scalar("average_delta_ns", avg_delta);
+    report.add_scalar("maximum_delta_ns", max_delta);
+    report.add_counters("orig", orig->telemetry().registry());
+    report.add_counters("mod", mod->telemetry().registry());
+    report.add_series("orig", orig->telemetry().sampler());
+    report.add_series("mod", mod->telemetry().sampler());
+    if (!report.write(*json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
+      return 1;
+    }
+    std::printf("\nJSON report written to %s\n", json_path->c_str());
+  }
   return 0;
 }

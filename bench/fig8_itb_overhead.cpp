@@ -7,13 +7,38 @@
 // twice the half-round-trip difference. The paper measures ~1.3 us per ITB
 // (its earlier simulation estimate was ~0.5 us), with relative overhead
 // falling from ~10% (short) to ~3% (long messages).
+//
+// `--json <path>` additionally writes an itb.telemetry.v1 report: the
+// per-size table, half-RTT histograms and per-channel utilization series
+// for both paths (runs "ud" and "itb").
 #include <cstdio>
 
 #include "itb/core/experiments.hpp"
+#include "itb/telemetry/export.hpp"
 #include "itb/workload/pingpong.hpp"
 
-int main() {
+namespace {
+
+using namespace itb;
+
+std::vector<workload::AllsizeRow> run(core::Cluster& cluster,
+                                      workload::AllsizeConfig cfg,
+                                      bool sample) {
+  if (sample) {
+    cfg.sampler = &cluster.telemetry().sampler();
+    cluster.telemetry().start_sampling();
+  }
+  auto rows = workload::run_allsize(cluster.queue(), cluster.port(core::kHost1),
+                                    cluster.port(core::kHost2), cfg);
+  if (sample) cluster.telemetry().stop_sampling();
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace itb;
+  const auto json_path = telemetry::json_flag(argc, argv);
 
   workload::AllsizeConfig cfg;
   cfg.iterations = 100;
@@ -22,16 +47,16 @@ int main() {
   auto ud = core::make_fig8_cluster(/*itb_path=*/false);
   auto itb = core::make_fig8_cluster(/*itb_path=*/true);
 
-  auto rows_ud = workload::run_allsize(ud->queue(), ud->port(core::kHost1),
-                                       ud->port(core::kHost2), cfg);
-  auto rows_itb = workload::run_allsize(itb->queue(), itb->port(core::kHost1),
-                                        itb->port(core::kHost2), cfg);
+  auto rows_ud = run(*ud, cfg, json_path.has_value());
+  auto rows_itb = run(*itb, cfg, json_path.has_value());
 
   std::printf("Figure 8: message latency overhead of the ITB mechanism\n");
   std::printf("(half-round-trip; both paths cross 5 switches and the same "
               "port kinds)\n\n");
   std::printf("%10s %12s %12s %14s %10s\n", "size(B)", "UD(us)", "UD-ITB(us)",
               "overhead(us)", "rel(%)");
+  telemetry::BenchReport report("fig8_itb_overhead");
+  report.set_param("iterations", cfg.iterations);
   double sum = 0;
   for (std::size_t i = 0; i < rows_ud.size(); ++i) {
     const double a = rows_ud[i].half_rtt_ns;
@@ -41,18 +66,47 @@ int main() {
     std::printf("%10zu %12.2f %12.2f %14.3f %10.2f\n", rows_ud[i].size,
                 a / 1000.0, b / 1000.0, overhead / 1000.0,
                 100.0 * (b - a) / a);
+    telemetry::BenchReport::Row row;
+    row.num["size_bytes"] = static_cast<double>(rows_ud[i].size);
+    row.num["ud_half_rtt_ns"] = a;
+    row.num["itb_half_rtt_ns"] = b;
+    row.num["ud_p99_ns"] = rows_ud[i].p99_ns;
+    row.num["itb_p99_ns"] = rows_itb[i].p99_ns;
+    row.num["per_itb_overhead_ns"] = overhead;
+    row.num["rel_percent"] = 100.0 * (b - a) / a;
+    report.add_row("overhead", std::move(row));
+    const std::string hist_name =
+        "half_rtt_" + std::to_string(rows_ud[i].size) + "B";
+    report.add_histogram(hist_name, "ud", rows_ud[i].hist);
+    report.add_histogram(hist_name, "itb", rows_itb[i].hist);
   }
+  const double avg_overhead = sum / static_cast<double>(rows_ud.size());
   std::printf("\naverage per-ITB overhead: %.3f us   (paper: ~1.3 us)\n",
-              sum / static_cast<double>(rows_ud.size()) / 1000.0);
+              avg_overhead / 1000.0);
   std::printf("overhead is flat in message size (virtual cut-through)\n");
   std::printf("relative overhead falls with size (paper: ~10%% -> ~3%%)\n");
 
   // Sanity: the in-transit NIC actually forwarded every ping in firmware.
+  const auto forwarded = itb->nic(core::kInTransit).stats().itb_forwarded;
+  const auto delivered = itb->nic(core::kInTransit).stats().delivered_to_host;
   std::printf("\nin-transit NIC forwarded %llu packets, delivered %llu to "
               "its host\n",
-              static_cast<unsigned long long>(
-                  itb->nic(core::kInTransit).stats().itb_forwarded),
-              static_cast<unsigned long long>(
-                  itb->nic(core::kInTransit).stats().delivered_to_host));
+              static_cast<unsigned long long>(forwarded),
+              static_cast<unsigned long long>(delivered));
+
+  if (json_path) {
+    report.add_scalar("average_per_itb_overhead_ns", avg_overhead);
+    report.add_scalar("itb_forwarded", static_cast<double>(forwarded));
+    report.add_scalar("itb_delivered_to_host", static_cast<double>(delivered));
+    report.add_counters("ud", ud->telemetry().registry());
+    report.add_counters("itb", itb->telemetry().registry());
+    report.add_series("ud", ud->telemetry().sampler());
+    report.add_series("itb", itb->telemetry().sampler());
+    if (!report.write(*json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
+      return 1;
+    }
+    std::printf("\nJSON report written to %s\n", json_path->c_str());
+  }
   return 0;
 }

@@ -8,11 +8,18 @@
 // bench regenerates that comparison: a random irregular COW, uniform
 // traffic, offered-load sweep, accepted throughput and latency for both
 // policies, plus the static route metrics behind the effect.
+//
+// `--json <path>` additionally writes an itb.telemetry.v1 report: the
+// sweep and route-metric tables, per-rate latency histograms, and — for
+// the highest offered load only (the saturated regime, where the channel
+// picture is interesting) — per-channel utilization series and registry
+// counters for both policies (runs "ud" and "itb").
 #include <cstdio>
 #include <vector>
 
 #include "itb/core/cluster.hpp"
 #include "itb/routing/deadlock.hpp"
+#include "itb/telemetry/export.hpp"
 #include "itb/workload/load.hpp"
 
 namespace {
@@ -39,7 +46,9 @@ topo::Topology make_network(std::uint64_t seed) {
 }
 
 std::vector<SweepPoint> sweep(routing::Policy policy, std::uint64_t seed,
-                              const std::vector<double>& rates) {
+                              const std::vector<double>& rates,
+                              telemetry::BenchReport* report,
+                              const std::string& run) {
   std::vector<SweepPoint> points;
   for (double rate : rates) {
     core::ClusterConfig cfg;
@@ -57,7 +66,14 @@ std::vector<SweepPoint> sweep(routing::Policy policy, std::uint64_t seed,
     cfg.gm_config.send_tokens = 64;
     cfg.gm_config.window = 32;
     cfg.gm_config.retransmit_timeout = 5 * sim::kMs;
+    // Coarse sampling: the 12 ms run yields ~24 points per channel.
+    cfg.telemetry_sample_period = 500 * sim::kUs;
     core::Cluster cluster(std::move(cfg));
+
+    // Time series only at the saturating rate: 128 channels x 8 rates
+    // would swamp the report without adding information.
+    const bool sample = report && rate == rates.back();
+    if (sample) cluster.telemetry().start_sampling();
 
     workload::LoadConfig lc;
     lc.message_bytes = 512;
@@ -69,6 +85,26 @@ std::vector<SweepPoint> sweep(routing::Policy policy, std::uint64_t seed,
     points.push_back(SweepPoint{rate, r.accepted_msgs_per_s_per_host,
                                 r.latency_mean_ns / 1000.0,
                                 r.latency_p99_ns / 1000.0});
+    if (report) {
+      telemetry::BenchReport::Row row;
+      row.text["policy"] = run;
+      row.num["offered_msgs_per_s"] = rate;
+      row.num["accepted_msgs_per_s"] = r.accepted_msgs_per_s_per_host;
+      row.num["latency_mean_ns"] = r.latency_mean_ns;
+      row.num["latency_p50_ns"] = r.latency_p50_ns;
+      row.num["latency_p95_ns"] = r.latency_p95_ns;
+      row.num["latency_p99_ns"] = r.latency_p99_ns;
+      row.num["sends_refused"] = static_cast<double>(r.sends_refused);
+      row.num["retransmissions"] = static_cast<double>(r.retransmissions);
+      report->add_row("sweep", std::move(row));
+      report->add_histogram("latency_rate_" + std::to_string(int(rate)), run,
+                            r.latency_hist);
+    }
+    if (sample) {
+      cluster.telemetry().stop_sampling();
+      report->add_counters(run, cluster.telemetry().registry());
+      report->add_series(run, cluster.telemetry().sampler());
+    }
   }
   return points;
 }
@@ -81,10 +117,15 @@ double saturation_throughput(const std::vector<SweepPoint>& pts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto json_path = telemetry::json_flag(argc, argv);
   const std::uint64_t seed = 2001;
   const std::vector<double> rates = {2.5e3, 5e3,   1e4,   1.5e4,
                                      2e4,   2.5e4, 3e4,   4e4};
+
+  telemetry::BenchReport report("motivation_throughput");
+  report.set_param("seed", static_cast<double>(seed));
+  report.set_param("message_bytes", 512);
 
   // Static route metrics first: the mechanism behind the throughput gap.
   {
@@ -110,10 +151,20 @@ int main() {
                 t_itb.average_itbs());
     std::printf("peak channel usage       %12u %12u  (root congestion)\n",
                 peak(t_ud.channel_usage(topo)), peak(t_itb.channel_usage(topo)));
+    for (const auto* entry : {&t_ud, &t_itb}) {
+      telemetry::BenchReport::Row row;
+      row.text["policy"] = entry == &t_ud ? "ud" : "itb";
+      row.num["avg_trunk_hops"] = entry->average_trunk_hops();
+      row.num["minimal_fraction"] = entry->minimal_fraction(router);
+      row.num["avg_itbs"] = entry->average_itbs();
+      row.num["peak_channel_usage"] = peak(entry->channel_usage(topo));
+      report.add_row("route_metrics", std::move(row));
+    }
   }
 
-  auto ud = sweep(routing::Policy::kUpDown, seed, rates);
-  auto itb = sweep(routing::Policy::kItb, seed, rates);
+  telemetry::BenchReport* rp = json_path ? &report : nullptr;
+  auto ud = sweep(routing::Policy::kUpDown, seed, rates, rp, "ud");
+  auto itb = sweep(routing::Policy::kItb, seed, rates, rp, "itb");
 
   std::printf("\nuniform traffic, 512 B messages, accepted msgs/s/host and "
               "mean latency:\n\n");
@@ -135,5 +186,15 @@ int main() {
               "ratio = %.2fx\n(paper claim from [2,3]: 2x-3x on the bare "
               "fabric; our figure includes full\nGM endpoint overheads, "
               "which compress the ratio)\n", f, matched);
+
+  if (json_path) {
+    report.add_scalar("saturation_ratio", f);
+    report.add_scalar("best_matched_load_ratio", matched);
+    if (!report.write(*json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
+      return 1;
+    }
+    std::printf("\nJSON report written to %s\n", json_path->c_str());
+  }
   return 0;
 }

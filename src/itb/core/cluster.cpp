@@ -47,6 +47,50 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     ip_stacks_.push_back(std::make_unique<ip::IpStack>(
         queue_, *nics_[h], *muxes_.back(), ip::IpConfig{}));
   }
+
+  wire_telemetry();
+}
+
+void Cluster::wire_telemetry() {
+  telemetry_ = std::make_unique<telemetry::Telemetry>(
+      queue_, tracer_, config_.telemetry_sample_period);
+  auto& reg = telemetry_->registry();
+  network_->register_metrics(reg);
+  for (auto& nic : nics_) nic->register_metrics(reg);
+  for (auto& port : gm_ports_) port->register_metrics(reg);
+  for (auto& ip : ip_stacks_) ip->register_metrics(reg);
+
+  // Default sampler probes (see the telemetry() doc comment in the header).
+  auto& s = telemetry_->sampler();
+  using Mode = telemetry::Sampler::Mode;
+  const auto channels = config_.topology.link_count() * 2;
+  for (std::size_t c = 0; c < channels; ++c)
+    s.add_probe("channel_utilization",
+                telemetry::Labels{.host = -1, .channel = static_cast<int>(c)},
+                Mode::kRate, [net = network_.get(), c] {
+                  return static_cast<double>(net->channel_busy_ns()[c]);
+                });
+  for (std::uint16_t h = 0; h < host_count(); ++h) {
+    const telemetry::Labels labels{.host = h, .channel = -1};
+    auto* nic = nics_[h].get();
+    auto* port = gm_ports_[h].get();
+    s.add_probe("itb_pending_depth", labels, Mode::kLevel, [nic] {
+      return static_cast<double>(nic->itb_pending_depth());
+    });
+    s.add_probe("send_dma_utilization", labels, Mode::kRate, [nic] {
+      return static_cast<double>(nic->send_dma_busy_ns());
+    });
+    s.add_probe("rx_buffer_utilization", labels, Mode::kRate, [nic] {
+      return static_cast<double>(nic->rx_busy_ns());
+    });
+    s.add_probe("gm_tokens_in_use", labels, Mode::kLevel, [port] {
+      return static_cast<double>(port->tokens_in_use());
+    });
+    s.add_probe(
+        "gm_retransmit_per_s", labels, Mode::kRate,
+        [port] { return static_cast<double>(port->stats().retransmissions); },
+        /*scale=*/1e9);
+  }
 }
 
 bool Cluster::routes_deadlock_free() const {

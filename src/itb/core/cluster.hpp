@@ -28,6 +28,7 @@
 #include "itb/routing/deadlock.hpp"
 #include "itb/sim/event_queue.hpp"
 #include "itb/sim/trace.hpp"
+#include "itb/telemetry/export.hpp"
 #include "itb/topo/builders.hpp"
 
 namespace itb::core {
@@ -53,6 +54,9 @@ struct ClusterConfig {
   /// their measurement paths). Indexed [src][dst].
   std::optional<std::vector<std::vector<std::vector<packet::Route>>>>
       manual_routes;
+  /// Tick period of the telemetry sampler (armed on demand; idle clusters
+  /// pay nothing).
+  sim::Duration telemetry_sample_period = 100 * sim::kUs;
 };
 
 class Cluster {
@@ -67,6 +71,19 @@ class Cluster {
   sim::EventQueue& queue() { return queue_; }
   sim::Tracer& tracer() { return tracer_; }
   net::Network& network() { return *network_; }
+
+  /// Observability bundle: every layer's counters in one registry plus the
+  /// periodic sampler. `telemetry().start_sampling()` arms time-series
+  /// collection; `telemetry().write_json(path)` dumps everything.
+  /// Default sampler probes (all labelled by host/channel index):
+  ///   channel_utilization  — per directed channel, busy fraction per tick
+  ///   itb_pending_depth    — per host, ITB packets waiting for send DMA
+  ///   send_dma_utilization — per host, send DMA busy fraction
+  ///   rx_buffer_utilization— per host, >= 1 receive buffer held fraction
+  ///   gm_tokens_in_use     — per host, send tokens outstanding
+  ///   gm_retransmit_per_s  — per host, GM retransmissions per second
+  telemetry::Telemetry& telemetry() { return *telemetry_; }
+  const telemetry::Telemetry& telemetry() const { return *telemetry_; }
   gm::GmPort& port(std::uint16_t host) { return *gm_ports_.at(host); }
   ip::IpStack& ip(std::uint16_t host) { return *ip_stacks_.at(host); }
   nic::Nic& nic(std::uint16_t host) { return *nics_.at(host); }
@@ -98,6 +115,11 @@ class Cluster {
   std::vector<std::unique_ptr<gm::GmPort>> gm_ports_;
   std::vector<std::unique_ptr<nic::NicMux>> muxes_;
   std::vector<std::unique_ptr<ip::IpStack>> ip_stacks_;
+  // Last member: its registry sources and sampler probes point into the
+  // components above, so it must be destroyed first.
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
+
+  void wire_telemetry();
 };
 
 }  // namespace itb::core

@@ -190,4 +190,24 @@ void GmPort::on_send_complete(sim::Time, std::uint64_t) {
   // acknowledgement instead (reliable semantics), so nothing to do.
 }
 
+void GmPort::register_metrics(telemetry::MetricRegistry& registry) const {
+  const telemetry::Labels labels{.host = nic_.host(), .channel = -1};
+  auto source = [&registry, labels](const char* name,
+                                    const std::uint64_t& field) {
+    registry.register_source("gm", name, telemetry::MetricKind::kCounter,
+                             [&field] { return static_cast<double>(field); },
+                             labels);
+  };
+  source("messages_sent", stats_.messages_sent);
+  source("messages_delivered", stats_.messages_delivered);
+  source("packets_data", stats_.packets_data);
+  source("packets_ack", stats_.packets_ack);
+  source("retransmissions", stats_.retransmissions);
+  source("duplicates", stats_.duplicates);
+  source("out_of_order", stats_.out_of_order);
+  registry.register_source(
+      "gm", "tokens_in_use", telemetry::MetricKind::kGauge,
+      [this] { return static_cast<double>(tokens_in_use_); }, labels);
+}
+
 }  // namespace itb::gm

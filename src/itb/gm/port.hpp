@@ -17,8 +17,9 @@
 #include <map>
 #include <optional>
 
-#include "itb/nic/nic.hpp"
 #include "itb/gm/header.hpp"
+#include "itb/nic/nic.hpp"
+#include "itb/telemetry/metrics.hpp"
 
 namespace itb::gm {
 
@@ -63,8 +64,13 @@ class GmPort final : public nic::NicClient {
   bool send(std::uint16_t dst, packet::Bytes message, SendCallback on_sent = {});
 
   int tokens_available() const { return config_.send_tokens - tokens_in_use_; }
+  int tokens_in_use() const { return tokens_in_use_; }
   const GmStats& stats() const { return stats_; }
   std::uint16_t host() const { return nic_.host(); }
+
+  /// Publish the GmStats counters and token occupancy under component "gm"
+  /// with this port's host label (callback-backed).
+  void register_metrics(telemetry::MetricRegistry& registry) const;
 
   // --- nic::NicClient ----------------------------------------------------
   void on_message(sim::Time t, packet::PacketType type,

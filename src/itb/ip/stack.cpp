@@ -84,4 +84,23 @@ void IpStack::sweep(sim::Time now) {
   }
 }
 
+void IpStack::register_metrics(telemetry::MetricRegistry& registry) const {
+  const telemetry::Labels labels{.host = nic_.host(), .channel = -1};
+  auto source = [&registry, labels](const char* name,
+                                    const std::uint64_t& field) {
+    registry.register_source("ip", name, telemetry::MetricKind::kCounter,
+                             [&field] { return static_cast<double>(field); },
+                             labels);
+  };
+  source("datagrams_sent", stats_.datagrams_sent);
+  source("fragments_sent", stats_.fragments_sent);
+  source("datagrams_delivered", stats_.datagrams_delivered);
+  source("fragments_received", stats_.fragments_received);
+  source("header_errors", stats_.header_errors);
+  source("reassembly_timeouts", stats_.reassembly_timeouts);
+  registry.register_source(
+      "ip", "reassembly_partial", telemetry::MetricKind::kGauge,
+      [this] { return static_cast<double>(partial_.size()); }, labels);
+}
+
 }  // namespace itb::ip

@@ -13,6 +13,7 @@
 
 #include "itb/ip/datagram.hpp"
 #include "itb/nic/mux.hpp"
+#include "itb/telemetry/metrics.hpp"
 
 namespace itb::ip {
 
@@ -48,6 +49,10 @@ class IpStack final : public nic::NicClient {
             std::uint8_t protocol = 17);
 
   const IpStats& stats() const { return stats_; }
+
+  /// Publish the IpStats counters under component "ip" with this stack's
+  /// host label (callback-backed).
+  void register_metrics(telemetry::MetricRegistry& registry) const;
 
   void on_message(sim::Time t, packet::PacketType type,
                   packet::Bytes payload) override;

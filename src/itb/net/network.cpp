@@ -283,4 +283,22 @@ void Network::finish_worm(Worm* w) {
   }
 }
 
+void Network::register_metrics(telemetry::MetricRegistry& registry) const {
+  auto source = [&registry, this](const char* name,
+                                  const std::uint64_t& field) {
+    registry.register_source("net", name, telemetry::MetricKind::kCounter,
+                             [&field] { return static_cast<double>(field); });
+  };
+  source("injected", stats_.injected);
+  source("delivered", stats_.delivered);
+  source("dropped", stats_.dropped);
+  source("head_blocks", stats_.head_blocks);
+  source("faults_injected", stats_.faults_injected);
+  for (std::size_t c = 0; c < channel_busy_.size(); ++c)
+    registry.register_source(
+        "net", "channel_busy_ns", telemetry::MetricKind::kGauge,
+        [this, c] { return static_cast<double>(channel_busy_[c]); },
+        telemetry::Labels{.host = -1, .channel = static_cast<int>(c)});
+}
+
 }  // namespace itb::net

@@ -33,6 +33,7 @@
 #include "itb/sim/event_queue.hpp"
 #include "itb/sim/rng.hpp"
 #include "itb/sim/trace.hpp"
+#include "itb/telemetry/metrics.hpp"
 #include "itb/topo/topology.hpp"
 
 namespace itb::net {
@@ -130,6 +131,10 @@ class Network {
 
   /// Number of worms currently in flight (for drain loops in tests).
   std::size_t in_flight() const { return live_worms_; }
+
+  /// Publish the NetworkStats counters and per-channel busy time under
+  /// component "net" (callback-backed: stats() stays the source of truth).
+  void register_metrics(telemetry::MetricRegistry& registry) const;
 
   /// Snapshot of an in-flight reception, valid between on_rx_head and
   /// on_rx_complete at the destination NIC. The NIC uses it to set up a

@@ -20,6 +20,7 @@ void McpCpu::pump() {
   const int total = job.cycles + (job.skip_dispatch ? 0 : timing_.dispatch);
   const sim::Duration cost = timing_.cycles(total);
   busy_ns_ += cost;
+  ++jobs_executed_;
   queue_.schedule_in(cost, [this, fn = std::move(job.fn)] {
     fn();
     pump();

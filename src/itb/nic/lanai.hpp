@@ -80,6 +80,9 @@ class McpCpu {
   /// Total cycles the CPU has executed (for utilisation reporting).
   std::int64_t busy_ns() const { return busy_ns_; }
 
+  /// Jobs dispatched so far (telemetry: MCP event-handler activity).
+  std::uint64_t jobs_executed() const { return jobs_executed_; }
+
  private:
   struct Job {
     int priority;
@@ -103,6 +106,7 @@ class McpCpu {
   bool busy_ = false;
   std::uint64_t next_seq_ = 0;
   std::int64_t busy_ns_ = 0;
+  std::uint64_t jobs_executed_ = 0;
 };
 
 }  // namespace itb::nic

@@ -64,9 +64,58 @@ void Nic::sdma_pump() {
             });
 }
 
+void Nic::set_send_dma(bool busy) {
+  if (busy == send_dma_busy_) return;
+  if (busy)
+    send_dma_since_ = queue_.now();
+  else
+    send_dma_busy_ns_ += queue_.now() - send_dma_since_;
+  send_dma_busy_ = busy;
+}
+
+sim::Duration Nic::send_dma_busy_ns() const {
+  return send_dma_busy_ns_ +
+         (send_dma_busy_ ? queue_.now() - send_dma_since_ : 0);
+}
+
+sim::Duration Nic::rx_busy_ns() const {
+  return rx_busy_ns_ + (rx_reserved_ > 0 ? queue_.now() - rx_busy_since_ : 0);
+}
+
+void Nic::register_metrics(telemetry::MetricRegistry& registry) const {
+  const telemetry::Labels labels{.host = host_, .channel = -1};
+  auto source = [&registry, labels](const char* name,
+                                    const std::uint64_t& field) {
+    registry.register_source("nic", name, telemetry::MetricKind::kCounter,
+                             [&field] { return static_cast<double>(field); },
+                             labels);
+  };
+  source("sent", stats_.sent);
+  source("received", stats_.received);
+  source("delivered_to_host", stats_.delivered_to_host);
+  source("itb_forwarded", stats_.itb_forwarded);
+  source("itb_pending_hits", stats_.itb_pending_hits);
+  source("dropped_no_buffer", stats_.dropped_no_buffer);
+  source("rx_unknown_type", stats_.rx_unknown_type);
+  source("rx_bad_crc", stats_.rx_bad_crc);
+  source("rx_aborted", stats_.rx_aborted);
+  registry.register_source(
+      "nic", "mcp_busy_ns", telemetry::MetricKind::kGauge,
+      [this] { return static_cast<double>(cpu_.busy_ns()); }, labels);
+  registry.register_source(
+      "nic", "mcp_jobs", telemetry::MetricKind::kCounter,
+      [this] { return static_cast<double>(cpu_.jobs_executed()); }, labels);
+  registry.register_source(
+      "nic", "send_dma_busy_ns", telemetry::MetricKind::kGauge,
+      [this] { return static_cast<double>(send_dma_busy_ns()); }, labels);
+  registry.register_source(
+      "nic", "rx_busy_ns", telemetry::MetricKind::kGauge,
+      [this] { return static_cast<double>(rx_busy_ns()); }, labels);
+}
+
 void Nic::send_pump() {
   if (send_dma_busy_ || ready_buffers_.empty()) return;
-  send_dma_busy_ = true;
+  set_send_dma(true);
   PostedSend ps = std::move(ready_buffers_.front());
   ready_buffers_.pop_front();
   cpu_.post(McpPriority::kHostRequest, timing_.send_process,
@@ -86,14 +135,14 @@ void Nic::send_pump() {
 
 // --------------------------------------------------------------- receive --
 
-void Nic::on_rx_head(sim::Time, net::TxHandle h) {
+void Nic::on_rx_head(sim::Time t, net::TxHandle h) {
   if (rx_reserved_ >= options_.recv_buffers) {
     // Only reachable in drop_when_full mode: with backpressure the network
     // never grants the final channel while we are out of buffers.
     rx_doomed_.insert(h);
     return;
   }
-  ++rx_reserved_;
+  if (rx_reserved_++ == 0) rx_busy_since_ = t;
   if (!options_.drop_when_full && rx_reserved_ >= options_.recv_buffers)
     network_.set_host_rx_ready(host_, false);
 }
@@ -120,7 +169,7 @@ void Nic::on_rx_early_header(sim::Time, net::TxHandle h,
       itb_pending_.push_back(h);
       return;
     }
-    send_dma_busy_ = true;
+    set_send_dma(true);
     if (options_.recv_side_reinjection) {
       // The Recv machine programs the send DMA itself, skipping one
       // dispatching cycle (Fig. 4, dashed lines).
@@ -152,11 +201,11 @@ void Nic::start_reinjection(net::TxHandle h) {
       return "h" + std::to_string(host_) + " ITB rx" + std::to_string(h) +
              " lost before re-injection";
     });
-    send_dma_busy_ = false;
+    set_send_dma(false);
     if (!itb_pending_.empty()) {
       const auto next = itb_pending_.front();
       itb_pending_.pop_front();
-      send_dma_busy_ = true;
+      set_send_dma(true);
       cpu_.post(McpPriority::kItbPendingSend, timing_.itb_program_send,
                 [this, next] { start_reinjection(next); });
     } else {
@@ -227,7 +276,7 @@ void Nic::on_rx_complete(sim::Time, net::WirePacket packet) {
                   ++stats_.itb_pending_hits;
                   itb_pending_.push_back(h);
                 } else {
-                  send_dma_busy_ = true;
+                  set_send_dma(true);
                   cpu_.post(McpPriority::kItbPendingSend,
                             timing_.itb_program_send,
                             [this, h] { start_reinjection(h); });
@@ -265,7 +314,7 @@ void Nic::on_rx_complete(sim::Time, net::WirePacket packet) {
 }
 
 void Nic::free_recv_buffer() {
-  --rx_reserved_;
+  if (--rx_reserved_ == 0) rx_busy_ns_ += queue_.now() - rx_busy_since_;
   network_.set_host_rx_ready(host_, true);
 }
 
@@ -286,12 +335,12 @@ void Nic::on_tx_complete(sim::Time, net::TxHandle h) {
       tx_tokens_.erase(it);
       if (client_) client_->on_send_complete(queue_.now(), token);
     }
-    send_dma_busy_ = false;
+    set_send_dma(false);
     if (!itb_pending_.empty()) {
       // Pending ITB packets beat normal sends (Fig. 5, high priority).
       const auto next = itb_pending_.front();
       itb_pending_.pop_front();
-      send_dma_busy_ = true;
+      set_send_dma(true);
       cpu_.post(McpPriority::kItbPendingSend, timing_.itb_program_send,
                 [this, next] { start_reinjection(next); });
     } else {
@@ -323,7 +372,7 @@ void Nic::on_tx_dropped(sim::Time, net::TxHandle h) {
     } else {
       tx_tokens_.erase(h);
     }
-    send_dma_busy_ = false;
+    set_send_dma(false);
     send_pump();
     sdma_pump();
   });

@@ -38,6 +38,7 @@
 #include "itb/nic/lanai.hpp"
 #include "itb/packet/format.hpp"
 #include "itb/routing/table.hpp"
+#include "itb/telemetry/metrics.hpp"
 
 namespace itb::nic {
 
@@ -120,6 +121,22 @@ class Nic final : public net::HostHooks {
   std::uint16_t host() const { return host_; }
   const McpCpu& cpu() const { return cpu_; }
 
+  // --- live occupancy, read by the telemetry sampler --------------------
+  /// ITB packets waiting for the send DMA (the "pending" flag queue).
+  std::size_t itb_pending_depth() const { return itb_pending_.size(); }
+  /// Receive buffers currently reserved.
+  int rx_buffers_in_use() const { return rx_reserved_; }
+  bool send_dma_busy() const { return send_dma_busy_; }
+  /// Cumulative time the send DMA was busy / at least one receive buffer
+  /// was held, including the currently open window. Rate-sampling either
+  /// one yields a busy fraction.
+  sim::Duration send_dma_busy_ns() const;
+  sim::Duration rx_busy_ns() const;
+
+  /// Publish the NicStats counters plus MCP busy time under component
+  /// "nic" with a host label (callback-backed).
+  void register_metrics(telemetry::MetricRegistry& registry) const;
+
   // --- net::HostHooks ---------------------------------------------------
   void on_rx_head(sim::Time t, net::TxHandle h) override;
   void on_rx_early_header(sim::Time t, net::TxHandle h,
@@ -142,6 +159,8 @@ class Nic final : public net::HostHooks {
   void sdma_pump();
   // Send: stamp routes and inject ready buffers.
   void send_pump();
+  // Busy-time accounting around the send DMA flag / rx buffer count.
+  void set_send_dma(bool busy);
   // ITB: forward an in-transit packet (from peek or a stashed completion).
   void forward_itb(net::TxHandle h);
   void start_reinjection(net::TxHandle h);
@@ -165,11 +184,15 @@ class Nic final : public net::HostHooks {
   std::deque<PostedSend> ready_buffers_;    // SRAM buffers ready to send
   int sdma_in_flight_ = 0;                  // host DMA transfers running
   bool send_dma_busy_ = false;
+  sim::Time send_dma_since_ = 0;            // busy-window start
+  sim::Duration send_dma_busy_ns_ = 0;      // closed busy windows
   std::uint64_t next_token_ = 1;
   std::unordered_map<net::TxHandle, std::uint64_t> tx_tokens_;
 
   // Receive path.
   int rx_reserved_ = 0;                            // buffers in use
+  sim::Time rx_busy_since_ = 0;                    // occupancy-window start
+  sim::Duration rx_busy_ns_ = 0;                   // closed occupancy windows
   std::unordered_set<net::TxHandle> rx_doomed_;    // drop_when_full victims
   std::unordered_set<net::TxHandle> itb_claimed_;  // handled by Early Recv
   std::unordered_set<net::TxHandle> itb_injected_; // re-injection started

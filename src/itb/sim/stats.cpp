@@ -43,14 +43,25 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+void SampledStats::merge(const SampledStats& other) {
+  running_.merge(other.running_);
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+}
+
 double SampledStats::percentile(double p) const {
   if (samples_.empty()) return 0.0;
   std::vector<double> sorted = samples_;
   std::sort(sorted.begin(), sorted.end());
-  const double clamped = std::clamp(p, 0.0, 100.0);
-  const auto rank = static_cast<std::size_t>(
+  const double clamped = std::clamp(std::isnan(p) ? 0.0 : p, 0.0, 100.0);
+  if (clamped == 0.0) return sorted.front();
+  if (clamped == 100.0) return sorted.back();
+  // Nearest rank: smallest rank covering fraction p. ceil() can round to
+  // n + 1 for p just under 100 (floating error), so clamp into [1, n].
+  auto rank = static_cast<std::size_t>(
       std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
-  return sorted[rank == 0 ? 0 : rank - 1];
+  rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)

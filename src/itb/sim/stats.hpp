@@ -45,14 +45,22 @@ class SampledStats {
     samples_.clear();
   }
 
+  /// Pool another accumulator's samples into this one (so per-host stats
+  /// can be aggregated into per-run stats).
+  void merge(const SampledStats& other);
+
   const RunningStats& running() const { return running_; }
   std::size_t count() const { return running_.count(); }
   double mean() const { return running_.mean(); }
   double min() const { return running_.min(); }
   double max() const { return running_.max(); }
   double stddev() const { return running_.stddev(); }
+  const std::vector<double>& samples() const { return samples_; }
 
-  /// Percentile in [0, 100] by nearest-rank on a sorted copy.
+  /// Percentile by nearest-rank on a sorted copy. `p` is clamped to
+  /// [0, 100]; p = 0 reports the minimum and p = 100 the maximum (the
+  /// nearest-rank convention is otherwise undefined at the endpoints),
+  /// and a single sample is every percentile. Empty stats report 0.
   double percentile(double p) const;
 
  private:

@@ -12,6 +12,7 @@ const char* to_string(TraceCategory c) {
     case TraceCategory::kGm: return "gm";
     case TraceCategory::kMapper: return "mapper";
     case TraceCategory::kWorkload: return "workload";
+    case TraceCategory::kTelemetry: return "telemetry";
   }
   return "?";
 }

@@ -21,6 +21,7 @@ enum class TraceCategory {
   kGm,
   kMapper,
   kWorkload,
+  kTelemetry,  // sampler ticks and registry events
 };
 
 const char* to_string(TraceCategory c);

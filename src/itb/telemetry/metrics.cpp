@@ -1,0 +1,73 @@
+#include "itb/telemetry/metrics.hpp"
+
+#include <stdexcept>
+
+namespace itb::telemetry {
+
+const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+  }
+  return "?";
+}
+
+double MetricRegistry::Slot::read() const {
+  if (source) return source();
+  return kind == MetricKind::kCounter ? static_cast<double>(counter_value)
+                                      : gauge_value;
+}
+
+MetricRegistry::Slot& MetricRegistry::add_slot(std::string component,
+                                               std::string name,
+                                               MetricKind kind, Labels labels) {
+  for (const auto& s : slots_)
+    if (s.component == component && s.name == name && s.labels == labels)
+      throw std::invalid_argument("metric already registered: " + component +
+                                  "." + name);
+  slots_.push_back(Slot{std::move(component), std::move(name), labels, kind,
+                        0, 0.0, nullptr});
+  return slots_.back();
+}
+
+Counter MetricRegistry::counter(std::string component, std::string name,
+                                Labels labels) {
+  auto& slot =
+      add_slot(std::move(component), std::move(name), MetricKind::kCounter,
+               labels);
+  return Counter(&slot.counter_value);
+}
+
+Gauge MetricRegistry::gauge(std::string component, std::string name,
+                            Labels labels) {
+  auto& slot = add_slot(std::move(component), std::move(name),
+                        MetricKind::kGauge, labels);
+  return Gauge(&slot.gauge_value);
+}
+
+void MetricRegistry::register_source(std::string component, std::string name,
+                                     MetricKind kind, Source source,
+                                     Labels labels) {
+  if (!source) throw std::invalid_argument("metric source must be callable");
+  auto& slot = add_slot(std::move(component), std::move(name), kind, labels);
+  slot.source = std::move(source);
+}
+
+std::vector<MetricSample> MetricRegistry::snapshot() const {
+  std::vector<MetricSample> out;
+  out.reserve(slots_.size());
+  for (const auto& s : slots_)
+    out.push_back(MetricSample{s.component, s.name, s.labels, s.kind, s.read()});
+  return out;
+}
+
+std::optional<double> MetricRegistry::value(std::string_view component,
+                                            std::string_view name,
+                                            Labels labels) const {
+  for (const auto& s : slots_)
+    if (s.component == component && s.name == name && s.labels == labels)
+      return s.read();
+  return std::nullopt;
+}
+
+}  // namespace itb::telemetry

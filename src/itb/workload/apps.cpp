@@ -42,12 +42,16 @@ AppResult run_all_to_all(sim::EventQueue& queue, std::vector<gm::GmPort*> ports,
   if (n < 2) throw std::invalid_argument("need at least two ports");
   AppResult result;
   const sim::Time start = queue.now();
+  // Makespan ends at the last delivery, not queue drain: background events
+  // (a telemetry sampler tick, trailing acks) must not pad it.
+  sim::Time last = start;
 
   for (auto* p : ports)
-    p->set_receive_handler([&result](sim::Time, std::uint16_t,
-                                     packet::Bytes msg) {
+    p->set_receive_handler([&result, &last](sim::Time t, std::uint16_t,
+                                            packet::Bytes msg) {
       ++result.messages;
       result.bytes += msg.size();
+      last = t;
     });
 
   std::vector<std::unique_ptr<Feeder>> feeders;
@@ -62,7 +66,7 @@ AppResult run_all_to_all(sim::EventQueue& queue, std::vector<gm::GmPort*> ports,
       }
 
   queue.run();
-  result.makespan = queue.now() - start;
+  result.makespan = last - start;
   if (result.messages !=
       static_cast<std::uint64_t>(rounds) * n * (n - 1))
     throw std::logic_error("all-to-all lost messages");
@@ -76,6 +80,7 @@ AppResult run_ring_exchange(sim::EventQueue& queue,
   if (n < 2) throw std::invalid_argument("need at least two ports");
   AppResult result;
   const sim::Time start = queue.now();
+  sim::Time last = start;
 
   std::vector<std::unique_ptr<Feeder>> feeders;
   feeders.reserve(n);
@@ -85,9 +90,10 @@ AppResult run_ring_exchange(sim::EventQueue& queue,
   // round-(r+1) send to the right neighbour.
   for (std::size_t i = 0; i < n; ++i) {
     ports[i]->set_receive_handler(
-        [&, i](sim::Time, std::uint16_t, packet::Bytes msg) {
+        [&, i](sim::Time t, std::uint16_t, packet::Bytes msg) {
           ++result.messages;
           result.bytes += msg.size();
+          last = t;
           const int round = msg[0];
           if (round + 1 < rounds) {
             packet::Bytes next(msg.size(),
@@ -102,7 +108,7 @@ AppResult run_ring_exchange(sim::EventQueue& queue,
                         packet::Bytes(std::max<std::size_t>(bytes, 1), 0));
 
   queue.run();
-  result.makespan = queue.now() - start;
+  result.makespan = last - start;
   if (result.messages != static_cast<std::uint64_t>(rounds) * n)
     throw std::logic_error("ring exchange lost messages");
   return result;
@@ -116,6 +122,7 @@ AppResult run_master_worker(sim::EventQueue& queue,
   if (n < 2) throw std::invalid_argument("need a master and a worker");
   AppResult result;
   const sim::Time start = queue.now();
+  sim::Time last = start;
 
   std::vector<std::unique_ptr<Feeder>> feeders;
   feeders.reserve(n);
@@ -124,9 +131,10 @@ AppResult run_master_worker(sim::EventQueue& queue,
   // Workers answer every task with a result.
   for (std::size_t w = 1; w < n; ++w) {
     ports[w]->set_receive_handler(
-        [&, w](sim::Time, std::uint16_t master, packet::Bytes msg) {
+        [&, w](sim::Time t, std::uint16_t master, packet::Bytes msg) {
           ++result.messages;
           result.bytes += msg.size();
+          last = t;
           packet::Bytes reply(std::max<std::size_t>(result_bytes, 1), msg[0]);
           feeders[w]->enqueue(master, std::move(reply));
         });
@@ -136,9 +144,10 @@ AppResult run_master_worker(sim::EventQueue& queue,
   auto scatter = std::make_shared<std::function<void(int)>>();
   auto replies = std::make_shared<std::size_t>(0);
   ports[0]->set_receive_handler(
-      [&, scatter, replies](sim::Time, std::uint16_t, packet::Bytes msg) {
+      [&, scatter, replies](sim::Time t, std::uint16_t, packet::Bytes msg) {
         ++result.messages;
         result.bytes += msg.size();
+        last = t;
         if (++*replies == n - 1) {
           *replies = 0;
           const int round = msg[0];
@@ -154,7 +163,7 @@ AppResult run_master_worker(sim::EventQueue& queue,
   (*scatter)(0);
 
   queue.run();
-  result.makespan = queue.now() - start;
+  result.makespan = last - start;
   if (result.messages != static_cast<std::uint64_t>(rounds) * 2 * (n - 1))
     throw std::logic_error("master/worker lost messages");
   return result;

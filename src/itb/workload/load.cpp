@@ -42,7 +42,7 @@ LoadResult run_load(sim::EventQueue& queue, std::vector<gm::GmPort*> ports,
   const sim::Time measure_end = measure_start + config.measure;
 
   LoadResult result;
-  sim::SampledStats latency;
+  sim::RunningStats latency;
   std::uint64_t base_retransmissions = 0;
   for (auto* p : ports) base_retransmissions += p->stats().retransmissions;
 
@@ -60,6 +60,7 @@ LoadResult run_load(sim::EventQueue& queue, std::vector<gm::GmPort*> ports,
           if (sent >= measure_start && t <= measure_end) {
             ++result.messages_delivered;
             latency.add(static_cast<double>(t - sent));
+            result.latency_hist.add(static_cast<double>(t - sent));
           }
         });
   }
@@ -119,7 +120,9 @@ LoadResult run_load(sim::EventQueue& queue, std::vector<gm::GmPort*> ports,
       static_cast<double>(result.messages_delivered) *
       static_cast<double>(config.message_bytes) / window_s;
   result.latency_mean_ns = latency.mean();
-  result.latency_p99_ns = latency.percentile(99);
+  result.latency_p50_ns = result.latency_hist.percentile(50);
+  result.latency_p95_ns = result.latency_hist.percentile(95);
+  result.latency_p99_ns = result.latency_hist.percentile(99);
   for (auto* p : ports) result.retransmissions += p->stats().retransmissions;
   result.retransmissions -= base_retransmissions;
   return result;

@@ -15,6 +15,7 @@
 #include "itb/gm/port.hpp"
 #include "itb/sim/rng.hpp"
 #include "itb/sim/stats.hpp"
+#include "itb/telemetry/histogram.hpp"
 
 namespace itb::workload {
 
@@ -44,7 +45,11 @@ struct LoadResult {
   double accepted_bytes_per_s = 0;
   /// Message latency stats (ns), send-call to delivery.
   double latency_mean_ns = 0;
+  double latency_p50_ns = 0;
+  double latency_p95_ns = 0;
   double latency_p99_ns = 0;
+  /// Full latency distribution over the measurement window.
+  telemetry::LatencyHistogram latency_hist;
   std::uint64_t messages_delivered = 0;
   std::uint64_t sends_refused = 0;  // token exhaustion (backpressure signal)
   std::uint64_t retransmissions = 0;

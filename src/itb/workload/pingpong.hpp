@@ -10,6 +10,8 @@
 
 #include "itb/gm/port.hpp"
 #include "itb/sim/stats.hpp"
+#include "itb/telemetry/histogram.hpp"
+#include "itb/telemetry/sampler.hpp"
 
 namespace itb::workload {
 
@@ -18,6 +20,10 @@ struct AllsizeConfig {
   /// Message sizes to sweep; defaults mirror gm_allsize's powers of two.
   std::vector<std::size_t> sizes = {4,   8,    16,   32,   64,   128,  256,
                                     512, 1024, 2048, 4096, 8192, 16384};
+  /// Optional telemetry sampler (usually the cluster's) resumed before
+  /// every iteration, so draining the queue between iterations — which
+  /// parks the sampler — still yields continuous time series.
+  telemetry::Sampler* sampler = nullptr;
 };
 
 struct AllsizeRow {
@@ -26,6 +32,11 @@ struct AllsizeRow {
   double min_ns = 0;
   double max_ns = 0;
   double stddev_ns = 0;
+  double p50_ns = 0;
+  double p95_ns = 0;
+  double p99_ns = 0;
+  /// Full half-RTT distribution over the iterations.
+  telemetry::LatencyHistogram hist;
 };
 
 /// Run the ping-pong between two ports sharing one event queue. The queue

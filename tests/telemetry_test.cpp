@@ -1,0 +1,447 @@
+// Tests for the telemetry subsystem: histogram accuracy against exact
+// percentiles, registry <-> legacy-counter equality after a lossy ITB run,
+// sampler integration (rate series integrate back to the underlying
+// counters), trace cross-checks, and the JSON/CSV exporters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "itb/core/cluster.hpp"
+#include "itb/core/experiments.hpp"
+#include "itb/sim/rng.hpp"
+#include "itb/sim/stats.hpp"
+#include "itb/telemetry/export.hpp"
+#include "itb/telemetry/histogram.hpp"
+#include "itb/telemetry/metrics.hpp"
+#include "itb/telemetry/sampler.hpp"
+#include "itb/topo/builders.hpp"
+#include "itb/workload/load.hpp"
+#include "itb/workload/pingpong.hpp"
+
+namespace {
+
+using namespace itb;
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+void expect_percentiles_close(const std::vector<double>& samples) {
+  telemetry::LatencyHistogram hist;
+  sim::SampledStats exact;
+  for (double v : samples) {
+    hist.add(v);
+    exact.add(std::floor(v));  // histogram truncates to integer ns
+  }
+  for (double p : {1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+    const double want = exact.percentile(p);
+    const double got = hist.percentile(p);
+    // Acceptance target: within 1% of the exact nearest-rank value.
+    EXPECT_NEAR(got, want, 0.01 * std::max(want, 1.0))
+        << "p" << p << " over " << samples.size() << " samples";
+  }
+  EXPECT_EQ(hist.count(), samples.size());
+}
+
+TEST(LatencyHistogram, UniformWithinOnePercentOfExact) {
+  sim::Rng rng(1);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i)
+    samples.push_back(static_cast<double>(rng.next_below(1'000'000) + 500));
+  expect_percentiles_close(samples);
+}
+
+TEST(LatencyHistogram, ExponentialWithinOnePercentOfExact) {
+  sim::Rng rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i)
+    samples.push_back(rng.next_exponential(50'000.0));
+  expect_percentiles_close(samples);
+}
+
+TEST(LatencyHistogram, BimodalWithinOnePercentOfExact) {
+  // Short fast path + long congested path, the shape loaded ITB runs show.
+  sim::Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 10000; ++i)
+    samples.push_back(static_cast<double>(9'000 + rng.next_below(2'000)));
+  for (int i = 0; i < 10000; ++i)
+    samples.push_back(static_cast<double>(750'000 + rng.next_below(100'000)));
+  expect_percentiles_close(samples);
+}
+
+TEST(LatencyHistogram, EdgeCases) {
+  telemetry::LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.percentile(50), 0.0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+
+  h.record(1234);
+  EXPECT_EQ(h.percentile(0), 1234.0);    // p0 = min
+  EXPECT_EQ(h.percentile(100), 1234.0);  // p100 = max
+  EXPECT_EQ(h.percentile(50), 1234.0);   // single sample: every percentile
+  EXPECT_EQ(h.mean(), 1234.0);
+
+  h.add(-5.0);  // clamps to zero
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.percentile(0), 0.0);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(LatencyHistogram, MergeAndBuckets) {
+  telemetry::LatencyHistogram a, b;
+  a.record(100, 5);
+  b.record(1'000'000, 3);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 1'000'000u);
+
+  std::uint64_t total = 0;
+  for (const auto& bucket : a.nonzero_buckets()) {
+    EXPECT_LT(bucket.lo, bucket.hi);
+    total += bucket.count;
+  }
+  EXPECT_EQ(total, 8u);
+
+  telemetry::LatencyHistogram coarse(3);
+  EXPECT_THROW(a.merge(coarse), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+
+TEST(MetricRegistry, HandlesAndSources) {
+  telemetry::MetricRegistry reg;
+  auto c = reg.counter("core", "events");
+  auto g = reg.gauge("core", "depth", {.host = 2, .channel = -1});
+  c.inc();
+  c.inc(4);
+  g.set(7.5);
+  std::uint64_t backing = 41;
+  reg.register_source("core", "legacy", telemetry::MetricKind::kCounter,
+                      [&backing] { return static_cast<double>(backing); });
+
+  EXPECT_EQ(reg.value("core", "events"), 5.0);
+  EXPECT_EQ(reg.value("core", "depth", {.host = 2, .channel = -1}), 7.5);
+  EXPECT_EQ(reg.value("core", "legacy"), 41.0);
+  ++backing;  // sources poll live state
+  EXPECT_EQ(reg.value("core", "legacy"), 42.0);
+  EXPECT_FALSE(reg.value("core", "missing").has_value());
+  EXPECT_FALSE(reg.value("core", "depth").has_value());  // labels mismatch
+
+  auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "events");
+  EXPECT_EQ(snap[1].labels.host, 2);
+
+  // Default-constructed handles are inert.
+  telemetry::Counter inert;
+  inert.inc();
+  EXPECT_EQ(inert.value(), 0u);
+}
+
+TEST(MetricRegistry, DuplicateRegistrationThrows) {
+  telemetry::MetricRegistry reg;
+  reg.counter("gm", "sent", {.host = 0, .channel = -1});
+  EXPECT_THROW(reg.counter("gm", "sent", {.host = 0, .channel = -1}),
+               std::invalid_argument);
+  // Same name under a different label set is a different metric.
+  EXPECT_NO_THROW(reg.counter("gm", "sent", {.host = 1, .channel = -1}));
+  EXPECT_THROW(reg.register_source("gm", "sent", telemetry::MetricKind::kGauge,
+                                   [] { return 0.0; },
+                                   {.host = 1, .channel = -1}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster integration: registry == legacy counters after a lossy ITB run
+
+TEST(Telemetry, RegistryMatchesLegacyCountersAfterLossyItbRun) {
+  core::ClusterConfig cfg;
+  cfg.topology = topo::make_fig1_network();
+  cfg.policy = routing::Policy::kItb;
+  cfg.mcp_options.recv_buffers = 16;
+  cfg.mcp_options.drop_when_full = true;
+  cfg.fault_plan.drop_probability = 0.03;  // force GM retransmissions
+  cfg.gm_config.retransmit_timeout = 200 * sim::kUs;
+  core::Cluster cluster(std::move(cfg));
+
+  workload::LoadConfig lc;
+  lc.message_bytes = 256;
+  lc.rate_msgs_per_s = 4e3;
+  lc.warmup = 0;
+  lc.measure = 3 * sim::kMs;
+  lc.seed = 7;
+  auto r = workload::run_load(cluster.queue(), cluster.ports(), lc);
+  ASSERT_GT(r.messages_delivered, 0u);
+  ASSERT_GT(r.retransmissions, 0u) << "lossy run produced no retransmissions";
+
+  const auto& reg = cluster.telemetry().registry();
+  const auto& net = cluster.network().stats();
+  EXPECT_EQ(reg.value("net", "injected"), static_cast<double>(net.injected));
+  EXPECT_EQ(reg.value("net", "delivered"), static_cast<double>(net.delivered));
+  EXPECT_EQ(reg.value("net", "dropped"), static_cast<double>(net.dropped));
+  EXPECT_EQ(reg.value("net", "head_blocks"),
+            static_cast<double>(net.head_blocks));
+  EXPECT_EQ(reg.value("net", "faults_injected"),
+            static_cast<double>(net.faults_injected));
+  EXPECT_GT(net.faults_injected, 0u);
+
+  for (std::uint16_t h = 0; h < cluster.host_count(); ++h) {
+    const telemetry::Labels labels{.host = h, .channel = -1};
+    const auto& nic = cluster.nic(h).stats();
+    EXPECT_EQ(reg.value("nic", "sent", labels), static_cast<double>(nic.sent));
+    EXPECT_EQ(reg.value("nic", "received", labels),
+              static_cast<double>(nic.received));
+    EXPECT_EQ(reg.value("nic", "delivered_to_host", labels),
+              static_cast<double>(nic.delivered_to_host));
+    EXPECT_EQ(reg.value("nic", "itb_forwarded", labels),
+              static_cast<double>(nic.itb_forwarded));
+    EXPECT_EQ(reg.value("nic", "dropped_no_buffer", labels),
+              static_cast<double>(nic.dropped_no_buffer));
+    EXPECT_EQ(reg.value("nic", "rx_bad_crc", labels),
+              static_cast<double>(nic.rx_bad_crc));
+
+    const auto& gm = cluster.port(h).stats();
+    EXPECT_EQ(reg.value("gm", "messages_sent", labels),
+              static_cast<double>(gm.messages_sent));
+    EXPECT_EQ(reg.value("gm", "messages_delivered", labels),
+              static_cast<double>(gm.messages_delivered));
+    EXPECT_EQ(reg.value("gm", "packets_data", labels),
+              static_cast<double>(gm.packets_data));
+    EXPECT_EQ(reg.value("gm", "packets_ack", labels),
+              static_cast<double>(gm.packets_ack));
+    EXPECT_EQ(reg.value("gm", "retransmissions", labels),
+              static_cast<double>(gm.retransmissions));
+
+    const auto& ip = cluster.ip(h).stats();
+    EXPECT_EQ(reg.value("ip", "datagrams_sent", labels),
+              static_cast<double>(ip.datagrams_sent));
+  }
+
+  // Per-channel busy gauges mirror the network's vector.
+  const auto& busy = cluster.network().channel_busy_ns();
+  for (std::size_t c = 0; c < busy.size(); ++c)
+    EXPECT_EQ(reg.value("net", "channel_busy_ns",
+                        {.host = -1, .channel = static_cast<int>(c)}),
+              static_cast<double>(busy[c]));
+}
+
+// ---------------------------------------------------------------------------
+// Sampler
+
+TEST(Sampler, UtilizationSeriesIntegratesToChannelBusy) {
+  core::ClusterConfig cfg;
+  cfg.topology = topo::make_fig1_network();
+  cfg.policy = routing::Policy::kItb;
+  cfg.telemetry_sample_period = 50 * sim::kUs;
+  core::Cluster cluster(std::move(cfg));
+
+  cluster.telemetry().start_sampling();
+  workload::LoadConfig lc;
+  lc.message_bytes = 512;
+  lc.rate_msgs_per_s = 5e3;
+  lc.warmup = 0;
+  lc.measure = 2 * sim::kMs;
+  lc.seed = 11;
+  workload::run_load(cluster.queue(), cluster.ports(), lc);
+  cluster.telemetry().stop_sampling();
+
+  const auto& sampler = cluster.telemetry().sampler();
+  ASSERT_GT(sampler.ticks(), 5u);
+  const auto& busy = cluster.network().channel_busy_ns();
+  std::size_t busy_channels = 0;
+  for (std::size_t c = 0; c < busy.size(); ++c) {
+    const auto* s = sampler.find(
+        "channel_utilization",
+        telemetry::Labels{.host = -1, .channel = static_cast<int>(c)});
+    ASSERT_NE(s, nullptr);
+    ASSERT_EQ(s->at.size(), s->values.size());
+    // sum(v_i * dt_i) must equal the counter's growth over the sampled
+    // interval — the kRate definition makes this exact up to FP error.
+    double integral = 0;
+    sim::Time t_prev = 0;  // sampling started at time 0
+    for (std::size_t i = 0; i < s->at.size(); ++i) {
+      EXPECT_GE(s->values[i], 0.0);
+      EXPECT_LE(s->values[i], 1.0 + 1e-9) << "utilization above 100%";
+      integral += s->values[i] * static_cast<double>(s->at[i] - t_prev);
+      t_prev = s->at[i];
+    }
+    EXPECT_NEAR(integral, static_cast<double>(busy[c]),
+                1e-6 * std::max<double>(static_cast<double>(busy[c]), 1.0) +
+                    1e-3);
+    if (busy[c] > 0) ++busy_channels;
+  }
+  EXPECT_GT(busy_channels, 0u) << "load run never used any channel";
+}
+
+TEST(Sampler, ParksOnDrainResumesAndTracesEveryTick) {
+  auto cluster = core::make_fig8_cluster(/*itb_path=*/true);
+  std::string log;
+  cluster->tracer().attach(telemetry::tick_log_sink(log));
+
+  auto& telemetry = cluster->telemetry();
+  telemetry.start_sampling();
+  workload::AllsizeConfig cfg;
+  cfg.iterations = 5;
+  cfg.sizes = {256, 1024};
+  cfg.sampler = &telemetry.sampler();
+  workload::run_allsize(cluster->queue(), cluster->port(core::kHost1),
+                        cluster->port(core::kHost2), cfg);
+  // After each drain the sampler parks rather than spinning the queue.
+  EXPECT_TRUE(telemetry.sampler().parked());
+  telemetry.stop_sampling();
+  EXPECT_FALSE(telemetry.sampler().running());
+
+  const auto ticks = telemetry.sampler().ticks();
+  EXPECT_GT(ticks, 0u);
+  // Every tick (including the stop() flush) leaves one trace line.
+  std::size_t lines = 0;
+  for (char ch : log)
+    if (ch == '\n') ++lines;
+  EXPECT_EQ(lines, ticks);
+  EXPECT_NE(log.find("[telemetry]"), std::string::npos);
+  EXPECT_NE(log.find("channel_utilization"), std::string::npos);
+}
+
+TEST(Sampler, RateSeriesScaleAndLevelMode) {
+  sim::EventQueue queue;
+  sim::Tracer tracer;
+  telemetry::Sampler sampler(queue, tracer, 100);
+  double counter = 0, level = 3;
+  sampler.add_probe("rate", {}, telemetry::Sampler::Mode::kRate,
+                    [&counter] { return counter; }, /*scale=*/1e9);
+  sampler.add_probe("level", {}, telemetry::Sampler::Mode::kLevel,
+                    [&level] { return level; });
+  EXPECT_THROW(sampler.add_probe("level", {}, telemetry::Sampler::Mode::kLevel,
+                                 [] { return 0.0; }),
+               std::invalid_argument);
+
+  sampler.start();
+  // Keep the queue busy so ticks re-arm; bump the counter as time passes
+  // (at off-tick times so every increment lands in a well-defined window).
+  for (int i = 1; i <= 5; ++i)
+    queue.schedule_in(i * 100 - 30, [&counter, &level, i] {
+      counter += 50;
+      level = 3 + i;
+    });
+  queue.run();
+  sampler.stop();
+
+  const auto* rate = sampler.find("rate");
+  ASSERT_NE(rate, nullptr);
+  ASSERT_GE(rate->values.size(), 3u);
+  // 50 events per 100 ns window, scaled to per-second: 5e8.
+  EXPECT_NEAR(rate->values[1], 5e8, 1e-3);
+  // The integral of the rate series recovers the counter's total growth.
+  double integral = 0;
+  sim::Time t_prev = 0;
+  for (std::size_t i = 0; i < rate->at.size(); ++i) {
+    integral += rate->values[i] * static_cast<double>(rate->at[i] - t_prev);
+    t_prev = rate->at[i];
+  }
+  EXPECT_NEAR(integral / 1e9, counter, 1e-9);
+  const auto* lvl = sampler.find("level");
+  ASSERT_NE(lvl, nullptr);
+  EXPECT_EQ(lvl->values.back(), level);
+}
+
+// ---------------------------------------------------------------------------
+// Export
+
+TEST(Export, JsonWriterEscapesAndNests) {
+  std::ostringstream out;
+  telemetry::JsonWriter w(out);
+  w.begin_object();
+  w.kv("plain", "a\"b\\c\n\t");
+  w.key("arr");
+  w.begin_array();
+  w.value(std::int64_t{-3});
+  w.value(2.5);
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(out.str(),
+            "{\"plain\": \"a\\\"b\\\\c\\n\\t\", \"arr\": [-3, 2.5, true, null]}");
+  EXPECT_EQ(telemetry::json_quote("\x01"), "\"\\u0001\"");
+}
+
+TEST(Export, ClusterWriteJsonContainsSchemaCountersAndSeries) {
+  auto cluster = core::make_fig8_cluster(/*itb_path=*/true);
+  cluster->telemetry().start_sampling();
+  workload::run_pingpong(cluster->queue(), cluster->port(core::kHost1),
+                         cluster->port(core::kHost2), 512, 3);
+  cluster->telemetry().stop_sampling();
+
+  std::ostringstream out;
+  cluster->telemetry().write_json(out);
+  const std::string doc = out.str();
+  EXPECT_NE(doc.find("\"schema\": \"itb.telemetry.v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"counters\": "), std::string::npos);
+  EXPECT_NE(doc.find("\"series\": "), std::string::npos);
+  EXPECT_NE(doc.find("\"itb_forwarded\""), std::string::npos);
+  EXPECT_NE(doc.find("channel_utilization"), std::string::npos);
+
+  std::ostringstream csv;
+  cluster->telemetry().write_series_csv(csv);
+  EXPECT_NE(csv.str().find("series,host,channel,t_ns,value"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("channel_utilization"), std::string::npos);
+}
+
+TEST(Export, BenchReportRoundTrip) {
+  telemetry::BenchReport report("unit_test_bench");
+  report.set_param("seed", 7.0);
+  report.set_param("mode", "fast");
+  report.add_scalar("speedup", 2.25);
+  telemetry::BenchReport::Row row;
+  row.num["x"] = 1.0;
+  row.text["label"] = "first";
+  report.add_row("points", std::move(row));
+  telemetry::LatencyHistogram hist;
+  hist.record(10, 3);
+  hist.record(1000, 1);
+  report.add_histogram("latency", "run_a", hist);
+
+  std::ostringstream out;
+  report.write(out);
+  const std::string doc = out.str();
+  EXPECT_NE(doc.find("\"schema\": \"itb.telemetry.v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"bench\": \"unit_test_bench\""), std::string::npos);
+  EXPECT_NE(doc.find("\"mode\": \"fast\""), std::string::npos);
+  EXPECT_NE(doc.find("\"speedup\": 2.25"), std::string::npos);
+  EXPECT_NE(doc.find("\"label\": \"first\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p50\": "), std::string::npos);
+  EXPECT_NE(doc.find("\"run\": \"run_a\""), std::string::npos);
+}
+
+TEST(Export, JsonFlagParsing) {
+  {
+    const char* argv[] = {"bench", "--json", "out.json"};
+    auto got = telemetry::json_flag(3, const_cast<char**>(argv));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "out.json");
+  }
+  {
+    const char* argv[] = {"bench", "--json=other.json"};
+    auto got = telemetry::json_flag(2, const_cast<char**>(argv));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "other.json");
+  }
+  {
+    const char* argv[] = {"bench", "positional"};
+    EXPECT_FALSE(telemetry::json_flag(2, const_cast<char**>(argv)).has_value());
+  }
+  {
+    const char* argv[] = {"bench", "--json"};
+    EXPECT_THROW(telemetry::json_flag(2, const_cast<char**>(argv)),
+                 std::invalid_argument);
+  }
+}
+
+}  // namespace
