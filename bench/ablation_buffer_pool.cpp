@@ -10,11 +10,18 @@
 // `--json <path>` additionally writes an itb.telemetry.v1 report: the
 // outcome table, per-configuration send-to-ack latency histograms, and
 // utilization series + counters per configuration (runs like "drop_b4").
+//
+// `--jobs N` fans the eight independent {mode, pool size} runs across N
+// threads (default: hardware concurrency); output is bit-identical to
+// `--jobs 1` because every run owns its cluster.
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "itb/core/cluster.hpp"
+#include "itb/core/parallel.hpp"
 #include "itb/telemetry/export.hpp"
 #include "itb/workload/load.hpp"
 
@@ -31,13 +38,15 @@ struct Outcome {
   /// drops this includes the retransmission stalls — the latency price of
   /// the smaller pool.
   telemetry::LatencyHistogram send_to_ack;
+  // Captured for --json runs, by value: the cluster dies with the run.
+  std::vector<telemetry::MetricSample> counters;
+  std::vector<telemetry::Sampler::Series> series;
 };
 
 /// Star topology stressing one in-transit host: four sources on switch 0,
 /// four sinks on switch 1; every route is forced through the ITB host h8
 /// on switch 0, so its NIC forwards every packet.
-Outcome run(int recv_buffers, bool drop_when_full,
-            telemetry::BenchReport* report, const std::string& tag) {
+Outcome run(int recv_buffers, bool drop_when_full, bool sample) {
   topo::Topology topo;
   topo.add_switch(16);
   topo.add_switch(16);
@@ -68,7 +77,7 @@ Outcome run(int recv_buffers, bool drop_when_full,
   core::Cluster cluster(std::move(cfg));
 
   Outcome out;
-  if (report) cluster.telemetry().start_sampling();
+  if (sample) cluster.telemetry().start_sampling();
 
   // Each source sends 30 x 2 KB messages as fast as tokens allow.
   int remaining = 4 * 30;
@@ -105,11 +114,10 @@ Outcome run(int recv_buffers, bool drop_when_full,
     out.retransmissions += cluster.port(s).stats().retransmissions;
   if (remaining != 0) out.makespan = -1;  // did not complete (diagnostic)
 
-  if (report) {
+  if (sample) {
     cluster.telemetry().stop_sampling();
-    report->add_histogram("send_to_ack", tag, out.send_to_ack);
-    report->add_counters(tag, cluster.telemetry().registry());
-    report->add_series(tag, cluster.telemetry().sampler());
+    out.counters = cluster.telemetry().registry().snapshot();
+    out.series = cluster.telemetry().sampler().series();
   }
   return out;
 }
@@ -118,6 +126,7 @@ Outcome run(int recv_buffers, bool drop_when_full,
 
 int main(int argc, char** argv) {
   const auto json_path = telemetry::json_flag(argc, argv);
+  const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
   telemetry::BenchReport report("ablation_buffer_pool");
   report.set_param("messages", 4 * 30);
   report.set_param("message_bytes", 2048);
@@ -128,27 +137,48 @@ int main(int argc, char** argv) {
               "host, 120 x 2KB messages)\n\n");
   std::printf("%8s %12s | %12s %8s %10s %10s\n", "buffers", "mode",
               "makespan(us)", "drops", "rexmit", "forwarded");
-  for (bool drop : {false, true}) {
-    for (int buffers : {2, 4, 8, 16}) {
-      const std::string mode = drop ? "drop" : "backpressure";
-      const std::string tag = mode + "_b" + std::to_string(buffers);
-      auto o = run(buffers, drop, rp, tag);
-      std::printf("%8d %12s | %12.1f %8llu %10llu %10llu\n", buffers,
-                  mode.c_str(), static_cast<double>(o.makespan) / 1000.0,
-                  static_cast<unsigned long long>(o.drops),
-                  static_cast<unsigned long long>(o.retransmissions),
-                  static_cast<unsigned long long>(o.itb_forwarded));
-      telemetry::BenchReport::Row row;
-      row.text["mode"] = mode;
-      row.num["buffers"] = buffers;
-      row.num["makespan_ns"] = static_cast<double>(o.makespan);
-      row.num["drops"] = static_cast<double>(o.drops);
-      row.num["retransmissions"] = static_cast<double>(o.retransmissions);
-      row.num["itb_forwarded"] = static_cast<double>(o.itb_forwarded);
-      row.num["send_to_ack_p50_ns"] = o.send_to_ack.percentile(50);
-      row.num["send_to_ack_p99_ns"] = o.send_to_ack.percentile(99);
-      report.add_row("outcomes", std::move(row));
+
+  struct Config {
+    bool drop;
+    int buffers;
+  };
+  std::vector<Config> configs;
+  for (bool drop : {false, true})
+    for (int buffers : {2, 4, 8, 16}) configs.push_back({drop, buffers});
+
+  // Eight independent clusters; fan out, then print/report in config order.
+  auto outcomes = core::run_sweep_parallel(
+      configs.size(),
+      [&](std::size_t i) {
+        return run(configs[i].buffers, configs[i].drop, rp != nullptr);
+      },
+      jobs);
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& [drop, buffers] = configs[i];
+    Outcome& o = outcomes[i];
+    const std::string mode = drop ? "drop" : "backpressure";
+    const std::string tag = mode + "_b" + std::to_string(buffers);
+    std::printf("%8d %12s | %12.1f %8llu %10llu %10llu\n", buffers,
+                mode.c_str(), static_cast<double>(o.makespan) / 1000.0,
+                static_cast<unsigned long long>(o.drops),
+                static_cast<unsigned long long>(o.retransmissions),
+                static_cast<unsigned long long>(o.itb_forwarded));
+    if (rp) {
+      rp->add_histogram("send_to_ack", tag, o.send_to_ack);
+      rp->add_counters(tag, std::move(o.counters));
+      rp->add_series(tag, std::move(o.series));
     }
+    telemetry::BenchReport::Row row;
+    row.text["mode"] = mode;
+    row.num["buffers"] = buffers;
+    row.num["makespan_ns"] = static_cast<double>(o.makespan);
+    row.num["drops"] = static_cast<double>(o.drops);
+    row.num["retransmissions"] = static_cast<double>(o.retransmissions);
+    row.num["itb_forwarded"] = static_cast<double>(o.itb_forwarded);
+    row.num["send_to_ack_p50_ns"] = o.send_to_ack.percentile(50);
+    row.num["send_to_ack_p99_ns"] = o.send_to_ack.percentile(99);
+    report.add_row("outcomes", std::move(row));
   }
   std::printf("\nExpected: backpressure never drops (Stop&Go stalls the "
               "link); drop mode loses\npackets when the pool is small and "

@@ -7,10 +7,16 @@
 // `--json <path>` additionally writes an itb.telemetry.v1 report: the
 // combination table plus a half-RTT histogram and utilization series per
 // combination (runs like "san_lan_san" for src_trunk_dst).
+//
+// `--jobs N` fans the eight independent port-kind combinations across N
+// threads (default: hardware concurrency); output is bit-identical to
+// `--jobs 1` because every combination owns its cluster.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "itb/core/cluster.hpp"
+#include "itb/core/parallel.hpp"
 #include "itb/telemetry/export.hpp"
 #include "itb/workload/pingpong.hpp"
 
@@ -18,10 +24,17 @@ namespace {
 
 using namespace itb;
 
-workload::AllsizeRow measure(topo::PortKind src_kind, topo::PortKind dst_kind,
-                             topo::PortKind trunk_kind, std::size_t size,
-                             telemetry::BenchReport* report,
-                             const std::string& tag) {
+/// One combination's output, returned by value so the cluster can die on
+/// its worker thread.
+struct MeasureOutput {
+  workload::AllsizeRow row;
+  std::vector<telemetry::MetricSample> counters;
+  std::vector<telemetry::Sampler::Series> series;
+};
+
+MeasureOutput measure(topo::PortKind src_kind, topo::PortKind dst_kind,
+                      topo::PortKind trunk_kind, std::size_t size,
+                      bool sample) {
   topo::Topology topo;
   topo.add_switch(8);
   topo.add_switch(8);
@@ -37,20 +50,20 @@ workload::AllsizeRow measure(topo::PortKind src_kind, topo::PortKind dst_kind,
   workload::AllsizeConfig acfg;
   acfg.iterations = 20;
   acfg.sizes = {size};
-  if (report) {
+  if (sample) {
     acfg.sampler = &cluster.telemetry().sampler();
     cluster.telemetry().start_sampling();
   }
-  auto row = workload::run_allsize(cluster.queue(), cluster.port(0),
-                                   cluster.port(1), acfg)
-                 .front();
-  if (report) {
+  MeasureOutput out;
+  out.row = workload::run_allsize(cluster.queue(), cluster.port(0),
+                                  cluster.port(1), acfg)
+                .front();
+  if (sample) {
     cluster.telemetry().stop_sampling();
-    report->add_histogram("half_rtt", tag, row.hist);
-    report->add_counters(tag, cluster.telemetry().registry());
-    report->add_series(tag, cluster.telemetry().sampler());
+    out.counters = cluster.telemetry().registry().snapshot();
+    out.series = cluster.telemetry().sampler().series();
   }
-  return row;
+  return out;
 }
 
 const char* name(topo::PortKind k) { return topo::to_string(k); }
@@ -60,6 +73,7 @@ const char* name(topo::PortKind k) { return topo::to_string(k); }
 int main(int argc, char** argv) {
   using topo::PortKind;
   const auto json_path = telemetry::json_flag(argc, argv);
+  const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
   const std::size_t size = 256;
 
   telemetry::BenchReport report("ablation_port_kinds");
@@ -71,23 +85,46 @@ int main(int argc, char** argv) {
   std::printf("(2-switch path, 256 B ping-pong, LAN ports re-time the "
               "signal)\n\n");
   std::printf("%8s %8s %8s %14s\n", "src", "trunk", "dst", "half-RTT(us)");
+
+  struct Combo {
+    PortKind src, trunk, dst;
+  };
+  std::vector<Combo> combos;
   for (auto src : {PortKind::kSan, PortKind::kLan})
     for (auto trunk : {PortKind::kSan, PortKind::kLan})
-      for (auto dst : {PortKind::kSan, PortKind::kLan}) {
-        const std::string tag = std::string(name(src)) + "_" + name(trunk) +
-                                "_" + name(dst);
-        auto row = measure(src, dst, trunk, size, rp, tag);
-        std::printf("%8s %8s %8s %14.3f\n", name(src), name(trunk), name(dst),
-                    row.half_rtt_ns / 1000.0);
-        telemetry::BenchReport::Row r;
-        r.text["src"] = name(src);
-        r.text["trunk"] = name(trunk);
-        r.text["dst"] = name(dst);
-        r.num["half_rtt_ns"] = row.half_rtt_ns;
-        r.num["p50_ns"] = row.p50_ns;
-        r.num["p99_ns"] = row.p99_ns;
-        report.add_row("combinations", std::move(r));
-      }
+      for (auto dst : {PortKind::kSan, PortKind::kLan})
+        combos.push_back({src, trunk, dst});
+
+  // Eight independent clusters; fan out, then print/report in combo order.
+  auto outputs = core::run_sweep_parallel(
+      combos.size(),
+      [&](std::size_t i) {
+        const Combo& c = combos[i];
+        return measure(c.src, c.dst, c.trunk, size, rp != nullptr);
+      },
+      jobs);
+
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    const auto& [src, trunk, dst] = combos[i];
+    MeasureOutput& o = outputs[i];
+    const std::string tag =
+        std::string(name(src)) + "_" + name(trunk) + "_" + name(dst);
+    std::printf("%8s %8s %8s %14.3f\n", name(src), name(trunk), name(dst),
+                o.row.half_rtt_ns / 1000.0);
+    if (rp) {
+      rp->add_histogram("half_rtt", tag, o.row.hist);
+      rp->add_counters(tag, std::move(o.counters));
+      rp->add_series(tag, std::move(o.series));
+    }
+    telemetry::BenchReport::Row r;
+    r.text["src"] = name(src);
+    r.text["trunk"] = name(trunk);
+    r.text["dst"] = name(dst);
+    r.num["half_rtt_ns"] = o.row.half_rtt_ns;
+    r.num["p50_ns"] = o.row.p50_ns;
+    r.num["p99_ns"] = o.row.p99_ns;
+    report.add_row("combinations", std::move(r));
+  }
   std::printf("\nEach LAN port on the path adds a fixed re-timing penalty "
               "per traversal\n(default %lld ns); trunk LAN links are "
               "crossed by two fall-throughs and pay twice.\n",

@@ -10,11 +10,18 @@
 // static table plus one dynamic validation run (uniform load on the first
 // seed's network with spread ITB selection) contributing a message latency
 // histogram, utilization series and counters (run "best_spread").
+//
+// `--jobs N` fans the per-seed route-table evaluations across N threads
+// (default: hardware concurrency); output is bit-identical to `--jobs 1`
+// because each seed's topology and tables are rebuilt from the seed.
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <map>
+#include <vector>
 
 #include "itb/core/cluster.hpp"
+#include "itb/core/parallel.hpp"
 #include "itb/routing/table.hpp"
 #include "itb/sim/rng.hpp"
 #include "itb/telemetry/export.hpp"
@@ -99,6 +106,7 @@ void validation_run(std::uint64_t seed, telemetry::BenchReport& report) {
 
 int main(int argc, char** argv) {
   const auto json_path = telemetry::json_flag(argc, argv);
+  const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
   telemetry::BenchReport report("ablation_routing_opts");
 
   std::printf("Ablation: root selection and in-transit host selection "
@@ -106,23 +114,45 @@ int main(int argc, char** argv) {
   std::printf("%6s %6s %10s | %9s %8s %9s %9s\n", "seed", "root", "itb-host",
               "avg hops", "minimal", "peak ch.", "max duty");
 
-  for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
-    auto topo = make_topology(seed);
-    const auto best = routing::select_best_root(topo);
+  struct Case {
+    const char* root_name;
+    bool use_best;  // root = select_best_root(topo) instead of switch 0
+    const char* sel_name;
+    routing::ItbHostSelection sel;
+  };
+  constexpr Case kCases[] = {
+      {"0", false, "lowest", routing::ItbHostSelection::kLowestIndex},
+      {"best", true, "lowest", routing::ItbHostSelection::kLowestIndex},
+      {"best", true, "spread", routing::ItbHostSelection::kSpread},
+  };
+  const std::vector<std::uint64_t> seeds = {11, 12, 13};
 
-    struct Case {
-      const char* root_name;
-      std::uint16_t root;
-      const char* sel_name;
-      routing::ItbHostSelection sel;
-    };
-    const Case cases[] = {
-        {"0", 0, "lowest", routing::ItbHostSelection::kLowestIndex},
-        {"best", best, "lowest", routing::ItbHostSelection::kLowestIndex},
-        {"best", best, "spread", routing::ItbHostSelection::kSpread},
-    };
-    for (const auto& c : cases) {
-      auto m = evaluate(topo, c.root, c.sel);
+  // Each seed's topology + best-root search + three table builds form one
+  // independent unit of work; fan the seeds, then print in seed order.
+  struct SeedOutput {
+    std::uint16_t best = 0;
+    std::array<Metrics, std::size(kCases)> metrics;
+  };
+  auto outputs = core::run_sweep_parallel(
+      seeds.size(),
+      [&](std::size_t i) {
+        auto topo = make_topology(seeds[i]);
+        SeedOutput out;
+        out.best = routing::select_best_root(topo);
+        for (std::size_t c = 0; c < std::size(kCases); ++c)
+          out.metrics[c] = evaluate(
+              topo, kCases[c].use_best ? out.best : std::uint16_t{0},
+              kCases[c].sel);
+        return out;
+      },
+      jobs);
+
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const std::uint64_t seed = seeds[i];
+    const SeedOutput& so = outputs[i];
+    for (std::size_t ci = 0; ci < std::size(kCases); ++ci) {
+      const Case& c = kCases[ci];
+      const Metrics& m = so.metrics[ci];
       std::printf("%6llu %6s %10s | %9.3f %8.3f %9u %9zu\n",
                   static_cast<unsigned long long>(seed), c.root_name,
                   c.sel_name, m.avg_hops, m.minimal_fraction, m.peak_channel,
@@ -130,7 +160,8 @@ int main(int argc, char** argv) {
       telemetry::BenchReport::Row row;
       row.num["seed"] = static_cast<double>(seed);
       row.text["root"] = c.root_name;
-      row.num["root_switch"] = static_cast<double>(c.root);
+      row.num["root_switch"] =
+          static_cast<double>(c.use_best ? so.best : std::uint16_t{0});
       row.text["itb_selection"] = c.sel_name;
       row.num["avg_trunk_hops"] = m.avg_hops;
       row.num["minimal_fraction"] = m.minimal_fraction;
@@ -139,7 +170,7 @@ int main(int argc, char** argv) {
       report.add_row("route_metrics", std::move(row));
     }
     std::printf("   (best root for seed %llu is switch %u)\n",
-                static_cast<unsigned long long>(seed), best);
+                static_cast<unsigned long long>(seed), so.best);
   }
   std::printf("\nExpected: the optimised root shortens routes and lowers the "
               "channel peak;\nspread selection cuts the busiest ITB host's "

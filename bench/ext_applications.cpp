@@ -8,12 +8,18 @@
 // `--json <path>` additionally writes an itb.telemetry.v1 report: the
 // kernel table plus utilization series and registry counters per
 // kernel/policy combination (runs like "all_to_all_itb").
+//
+// `--jobs N` fans the six independent {kernel, policy} runs across N
+// threads (default: hardware concurrency); results are bit-identical to
+// `--jobs 1` because every run owns its cluster.
 #include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "itb/core/cluster.hpp"
+#include "itb/core/parallel.hpp"
 #include "itb/telemetry/export.hpp"
 #include "itb/workload/apps.hpp"
 
@@ -43,19 +49,27 @@ std::unique_ptr<core::Cluster> make_cluster(routing::Policy policy,
 
 telemetry::BenchReport* g_report = nullptr;
 
-workload::AppResult run_kernel(
-    const char* kernel, core::Cluster& cluster, routing::Policy policy,
+/// One {kernel, policy} run's full output, returned by value so the
+/// cluster can die on its worker thread.
+struct KernelOutput {
+  workload::AppResult result;
+  std::vector<telemetry::MetricSample> counters;
+  std::vector<telemetry::Sampler::Series> series;
+};
+
+KernelOutput run_kernel(
+    std::uint64_t seed, routing::Policy policy,
     const std::function<workload::AppResult(core::Cluster&)>& body) {
-  if (g_report) cluster.telemetry().start_sampling();
-  auto result = body(cluster);
+  auto cluster = make_cluster(policy, seed);
+  if (g_report) cluster->telemetry().start_sampling();
+  KernelOutput out;
+  out.result = body(*cluster);
   if (g_report) {
-    cluster.telemetry().stop_sampling();
-    const std::string tag = std::string(kernel) + "_" +
-                            (policy == routing::Policy::kItb ? "itb" : "ud");
-    g_report->add_counters(tag, cluster.telemetry().registry());
-    g_report->add_series(tag, cluster.telemetry().sampler());
+    cluster->telemetry().stop_sampling();
+    out.counters = cluster->telemetry().registry().snapshot();
+    out.series = cluster->telemetry().sampler().series();
   }
-  return result;
+  return out;
 }
 
 void report(const char* kernel, workload::AppResult ud,
@@ -84,6 +98,7 @@ void report(const char* kernel, workload::AppResult ud,
 
 int main(int argc, char** argv) {
   const auto json_path = telemetry::json_flag(argc, argv);
+  const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
   telemetry::BenchReport bench_report("ext_applications");
   if (json_path) g_report = &bench_report;
   const std::uint64_t seed = 1977;
@@ -95,35 +110,50 @@ int main(int argc, char** argv) {
   std::printf("%-14s | %12s | %12s | %s\n", "kernel", "UD (us)", "UD+ITB (us)",
               "speedup");
 
-  {
-    auto ud = make_cluster(routing::Policy::kUpDown, seed);
-    auto itb = make_cluster(routing::Policy::kItb, seed);
-    auto body = [](core::Cluster& c) {
-      return workload::run_all_to_all(c.queue(), c.ports(), 2048, 1);
-    };
-    report("all_to_all",
-           run_kernel("all_to_all", *ud, routing::Policy::kUpDown, body),
-           run_kernel("all_to_all", *itb, routing::Policy::kItb, body));
-  }
-  {
-    auto ud = make_cluster(routing::Policy::kUpDown, seed);
-    auto itb = make_cluster(routing::Policy::kItb, seed);
-    auto body = [](core::Cluster& c) {
-      return workload::run_ring_exchange(c.queue(), c.ports(), 4096, 8);
-    };
-    report("ring_exchange",
-           run_kernel("ring_exchange", *ud, routing::Policy::kUpDown, body),
-           run_kernel("ring_exchange", *itb, routing::Policy::kItb, body));
-  }
-  {
-    auto ud = make_cluster(routing::Policy::kUpDown, seed);
-    auto itb = make_cluster(routing::Policy::kItb, seed);
-    auto body = [](core::Cluster& c) {
-      return workload::run_master_worker(c.queue(), c.ports(), 2048, 256, 4);
-    };
-    report("master_worker",
-           run_kernel("master_worker", *ud, routing::Policy::kUpDown, body),
-           run_kernel("master_worker", *itb, routing::Policy::kItb, body));
+  struct Kernel {
+    const char* name;
+    std::function<workload::AppResult(core::Cluster&)> body;
+  };
+  const std::vector<Kernel> kernels = {
+      {"all_to_all",
+       [](core::Cluster& c) {
+         return workload::run_all_to_all(c.queue(), c.ports(), 2048, 1);
+       }},
+      {"ring_exchange",
+       [](core::Cluster& c) {
+         return workload::run_ring_exchange(c.queue(), c.ports(), 4096, 8);
+       }},
+      {"master_worker",
+       [](core::Cluster& c) {
+         return workload::run_master_worker(c.queue(), c.ports(), 2048, 256,
+                                            4);
+       }},
+  };
+
+  // Six independent simulations (kernel x policy), fanned across threads;
+  // stdout and the report are assembled serially afterwards, in the same
+  // order the serial program produced them.
+  auto outputs = core::run_sweep_parallel(
+      kernels.size() * 2,
+      [&](std::size_t i) {
+        const Kernel& k = kernels[i / 2];
+        const auto policy =
+            i % 2 == 0 ? routing::Policy::kUpDown : routing::Policy::kItb;
+        return run_kernel(seed, policy, k.body);
+      },
+      jobs);
+
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    KernelOutput& ud = outputs[2 * i];
+    KernelOutput& itb = outputs[2 * i + 1];
+    if (g_report) {
+      const std::string base = kernels[i].name;
+      g_report->add_counters(base + "_ud", std::move(ud.counters));
+      g_report->add_series(base + "_ud", std::move(ud.series));
+      g_report->add_counters(base + "_itb", std::move(itb.counters));
+      g_report->add_series(base + "_itb", std::move(itb.series));
+    }
+    report(kernels[i].name, ud.result, itb.result);
   }
 
   std::printf("\nExpected: the bursty all-to-all gains most (root "

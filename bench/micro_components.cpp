@@ -38,6 +38,57 @@ void BM_EventQueueScheduleFire(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleFire);
 
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  // The GM retransmit-timer pattern: arm a far timer per message, cancel it
+  // when the ack lands (almost always before it fires). The old engine paid
+  // a heap entry + hash-set round trip per timer and kept the dead closure
+  // until it surfaced; this measures schedule+cancel churn directly.
+  sim::EventQueue q;
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    sim::EventId timers[64];
+    for (int i = 0; i < 64; ++i)
+      timers[i] = q.schedule_in(5 * sim::kMs + i, [&sink] { ++sink; });
+    for (int i = 0; i < 64; ++i) q.cancel(timers[i]);
+    q.schedule_in(1, [&sink] { ++sink; });
+    q.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueCancelChurn);
+
+void BM_EventQueueFarTimers(benchmark::State& state) {
+  // All events far beyond the near horizon (sampler ticks, retransmit
+  // timeouts): exercises the spill path (old engine: the same heap).
+  sim::EventQueue q;
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i)
+      q.schedule_in((i + 1) * 100 * sim::kUs, [&sink] { ++sink; });
+    q.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueFarTimers);
+
+void BM_EventQueueMixedHorizon(benchmark::State& state) {
+  // The realistic mix: mostly byte-time/cycle-cost events within a few us,
+  // a minority of ms-scale timers (wheel + spill split in the new engine).
+  sim::EventQueue q;
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 56; ++i) q.schedule_in(6 * (i + 1), [&sink] { ++sink; });
+    for (int i = 0; i < 8; ++i)
+      q.schedule_in(2 * sim::kMs + i, [&sink] { ++sink; });
+    q.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueMixedHorizon);
+
 void BM_Crc32(benchmark::State& state) {
   packet::Bytes data(static_cast<std::size_t>(state.range(0)), 0xA7);
   for (auto _ : state) benchmark::DoNotOptimize(packet::crc32(data));

@@ -14,10 +14,16 @@
 // the highest offered load only (the saturated regime, where the channel
 // picture is interesting) — per-channel utilization series and registry
 // counters for both policies (runs "ud" and "itb").
+//
+// `--jobs N` fans the 16 independent {policy, rate} points across N
+// threads (default: hardware concurrency). Every point builds its own
+// cluster from the seed, so results are bit-identical to `--jobs 1`.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "itb/core/cluster.hpp"
+#include "itb/core/parallel.hpp"
 #include "itb/routing/deadlock.hpp"
 #include "itb/telemetry/export.hpp"
 #include "itb/workload/load.hpp"
@@ -45,43 +51,74 @@ topo::Topology make_network(std::uint64_t seed) {
   return topo::make_random_irregular(spec, rng);
 }
 
+/// Everything one {policy, rate} point produces, returned by value so the
+/// point's cluster can die on its worker thread.
+struct PointOutput {
+  workload::LoadResult load;
+  std::vector<telemetry::MetricSample> counters;      // sampled point only
+  std::vector<telemetry::Sampler::Series> series;     // sampled point only
+};
+
+PointOutput run_point(routing::Policy policy, std::uint64_t seed, double rate,
+                      bool sample) {
+  core::ClusterConfig cfg;
+  cfg.topology = make_network(seed);
+  cfg.policy = policy;
+  // Loaded-network configuration (paper §4): the two-buffer shipped MCP
+  // can deadlock through buffer-wait cycles once in-transit packets hold
+  // receive buffers while their re-injection blocks; the proposed
+  // circular buffer pool (accept, drop when full, GM retransmits) breaks
+  // the cycle. Applied to both policies for a fair comparison.
+  cfg.mcp_options.recv_buffers = 64;
+  cfg.mcp_options.drop_when_full = true;
+  // Deep send queues so the fabric, not GM token flow control, is what
+  // saturates; a patient retransmit timer avoids go-back-N storms.
+  cfg.gm_config.send_tokens = 64;
+  cfg.gm_config.window = 32;
+  cfg.gm_config.retransmit_timeout = 5 * sim::kMs;
+  // Coarse sampling: the 12 ms run yields ~24 points per channel.
+  cfg.telemetry_sample_period = 500 * sim::kUs;
+  core::Cluster cluster(std::move(cfg));
+
+  if (sample) cluster.telemetry().start_sampling();
+
+  workload::LoadConfig lc;
+  lc.message_bytes = 512;
+  lc.rate_msgs_per_s = rate;
+  lc.warmup = 2 * sim::kMs;
+  lc.measure = 8 * sim::kMs;
+  lc.seed = seed + 17;
+  PointOutput out;
+  out.load = workload::run_load(cluster.queue(), cluster.ports(), lc);
+  if (sample) {
+    cluster.telemetry().stop_sampling();
+    out.counters = cluster.telemetry().registry().snapshot();
+    out.series = cluster.telemetry().sampler().series();
+  }
+  return out;
+}
+
 std::vector<SweepPoint> sweep(routing::Policy policy, std::uint64_t seed,
                               const std::vector<double>& rates,
                               telemetry::BenchReport* report,
-                              const std::string& run) {
+                              const std::string& run, unsigned jobs) {
+  // Every rate is an independent simulation: fan them out, then merge into
+  // the report serially in rate order so the document (and stdout) is
+  // byte-identical for any job count.
+  auto outputs = core::run_sweep_parallel(
+      rates.size(),
+      [&](std::size_t i) {
+        // Time series only at the saturating rate: 128 channels x 8 rates
+        // would swamp the report without adding information.
+        const bool sample = report && i + 1 == rates.size();
+        return run_point(policy, seed, rates[i], sample);
+      },
+      jobs);
+
   std::vector<SweepPoint> points;
-  for (double rate : rates) {
-    core::ClusterConfig cfg;
-    cfg.topology = make_network(seed);
-    cfg.policy = policy;
-    // Loaded-network configuration (paper §4): the two-buffer shipped MCP
-    // can deadlock through buffer-wait cycles once in-transit packets hold
-    // receive buffers while their re-injection blocks; the proposed
-    // circular buffer pool (accept, drop when full, GM retransmits) breaks
-    // the cycle. Applied to both policies for a fair comparison.
-    cfg.mcp_options.recv_buffers = 64;
-    cfg.mcp_options.drop_when_full = true;
-    // Deep send queues so the fabric, not GM token flow control, is what
-    // saturates; a patient retransmit timer avoids go-back-N storms.
-    cfg.gm_config.send_tokens = 64;
-    cfg.gm_config.window = 32;
-    cfg.gm_config.retransmit_timeout = 5 * sim::kMs;
-    // Coarse sampling: the 12 ms run yields ~24 points per channel.
-    cfg.telemetry_sample_period = 500 * sim::kUs;
-    core::Cluster cluster(std::move(cfg));
-
-    // Time series only at the saturating rate: 128 channels x 8 rates
-    // would swamp the report without adding information.
-    const bool sample = report && rate == rates.back();
-    if (sample) cluster.telemetry().start_sampling();
-
-    workload::LoadConfig lc;
-    lc.message_bytes = 512;
-    lc.rate_msgs_per_s = rate;
-    lc.warmup = 2 * sim::kMs;
-    lc.measure = 8 * sim::kMs;
-    lc.seed = seed + 17;
-    auto r = workload::run_load(cluster.queue(), cluster.ports(), lc);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double rate = rates[i];
+    const workload::LoadResult& r = outputs[i].load;
     points.push_back(SweepPoint{rate, r.accepted_msgs_per_s_per_host,
                                 r.latency_mean_ns / 1000.0,
                                 r.latency_p99_ns / 1000.0});
@@ -99,11 +136,10 @@ std::vector<SweepPoint> sweep(routing::Policy policy, std::uint64_t seed,
       report->add_row("sweep", std::move(row));
       report->add_histogram("latency_rate_" + std::to_string(int(rate)), run,
                             r.latency_hist);
-    }
-    if (sample) {
-      cluster.telemetry().stop_sampling();
-      report->add_counters(run, cluster.telemetry().registry());
-      report->add_series(run, cluster.telemetry().sampler());
+      if (i + 1 == rates.size()) {
+        report->add_counters(run, std::move(outputs[i].counters));
+        report->add_series(run, std::move(outputs[i].series));
+      }
     }
   }
   return points;
@@ -119,6 +155,7 @@ double saturation_throughput(const std::vector<SweepPoint>& pts) {
 
 int main(int argc, char** argv) {
   const auto json_path = telemetry::json_flag(argc, argv);
+  const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
   const std::uint64_t seed = 2001;
   const std::vector<double> rates = {2.5e3, 5e3,   1e4,   1.5e4,
                                      2e4,   2.5e4, 3e4,   4e4};
@@ -163,8 +200,8 @@ int main(int argc, char** argv) {
   }
 
   telemetry::BenchReport* rp = json_path ? &report : nullptr;
-  auto ud = sweep(routing::Policy::kUpDown, seed, rates, rp, "ud");
-  auto itb = sweep(routing::Policy::kItb, seed, rates, rp, "itb");
+  auto ud = sweep(routing::Policy::kUpDown, seed, rates, rp, "ud", jobs);
+  auto itb = sweep(routing::Policy::kItb, seed, rates, rp, "itb", jobs);
 
   std::printf("\nuniform traffic, 512 B messages, accepted msgs/s/host and "
               "mean latency:\n\n");

@@ -1,46 +1,196 @@
 #include "itb/sim/event_queue.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace itb::sim {
 
+namespace {
+
+constexpr std::uint64_t pack(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(slot) << 32) | gen;
+}
+
+constexpr std::uint32_t bucket_of(Time at, std::uint32_t mask) {
+  return static_cast<std::uint32_t>(static_cast<std::uint64_t>(at) & mask);
+}
+
+}  // namespace
+
+EventQueue::EventQueue() : wheel_(kWheelSize, kNoSlot) {}
+
+std::uint32_t EventQueue::alloc_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t s = free_head_;
+    free_head_ = slots_[s].next;
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::free_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.action.reset();
+  if (++s.gen == 0) s.gen = 1;  // generation 0 is reserved for null ids
+  s.in_wheel = false;
+  s.next = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::push_wheel(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  const std::uint32_t b = bucket_of(s.at, kWheelSize - 1);
+  s.in_wheel = true;
+  s.prev = kNoSlot;
+  s.next = wheel_[b];
+  if (s.next != kNoSlot) slots_[s.next].prev = slot;
+  wheel_[b] = slot;
+  occupied_[b >> 6] |= 1ull << (b & 63);
+  summary_ |= 1ull << (b >> 6);
+}
+
+void EventQueue::unlink_wheel(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  const std::uint32_t b = bucket_of(s.at, kWheelSize - 1);
+  if (s.prev == kNoSlot)
+    wheel_[b] = s.next;
+  else
+    slots_[s.prev].next = s.next;
+  if (s.next != kNoSlot) slots_[s.next].prev = s.prev;
+  if (wheel_[b] == kNoSlot) clear_bucket_bit(b);
+}
+
+void EventQueue::clear_bucket_bit(std::uint32_t b) {
+  const std::uint32_t w = b >> 6;
+  occupied_[w] &= ~(1ull << (b & 63));
+  if (occupied_[w] == 0) summary_ &= ~(1ull << w);
+}
+
+void EventQueue::migrate() {
+  while (!heap_.empty()) {
+    if (stale(heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), RefLater{});
+      heap_.pop_back();
+      continue;
+    }
+    if (heap_.front().at - wbase_ >= kWheelSpan) break;
+    const std::uint32_t slot = heap_.front().slot;
+    std::pop_heap(heap_.begin(), heap_.end(), RefLater{});
+    heap_.pop_back();
+    push_wheel(slot);
+  }
+}
+
+std::uint32_t EventQueue::find_bucket(Time from) const {
+  const std::uint32_t start = bucket_of(from, kWheelSize - 1);
+  const std::uint32_t word = start >> 6;
+  // The start word, masked to buckets at or after `start`.
+  const std::uint64_t head = occupied_[word] & (~0ull << (start & 63));
+  if (head)
+    return (word << 6) + static_cast<std::uint32_t>(std::countr_zero(head));
+  // Words strictly after the start word, then the wrapped tail (words at or
+  // before it — re-reading the start word's low bits is the wrapped end of
+  // the window). The summary makes each probe a single countr_zero.
+  const std::uint64_t after =
+      word + 1 < kWordCount ? summary_ & (~0ull << (word + 1)) : 0;
+  const std::uint64_t wrapped = after ? after : summary_;
+  if (!wrapped) return kWheelSize;
+  const auto w = static_cast<std::uint32_t>(std::countr_zero(wrapped));
+  return (w << 6) + static_cast<std::uint32_t>(std::countr_zero(occupied_[w]));
+}
+
 EventId EventQueue::schedule_at(Time at, Action action) {
   if (at < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{at, seq, std::move(action)});
-  live_.insert(seq);
-  return EventId{seq};
-}
-
-bool EventQueue::cancel(EventId id) { return live_.erase(id.value) > 0; }
-
-bool EventQueue::step() {
-  while (!heap_.empty()) {
-    Entry top = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    if (live_.erase(top.seq) == 0) continue;  // was cancelled
-    now_ = top.at;
-    top.action();
-    return true;
+  const std::uint32_t slot = alloc_slot();
+  Slot& s = slots_[slot];
+  s.at = at;
+  s.seq = next_seq_++;
+  s.action = std::move(action);
+  if (at - wbase_ < kWheelSpan) {
+    push_wheel(slot);
+    ++stats_.wheel_scheduled;
+  } else {
+    heap_.push_back(Ref{at, s.seq, slot, s.gen});
+    std::push_heap(heap_.begin(), heap_.end(), RefLater{});
+    ++stats_.spill_scheduled;
   }
-  return false;
+  ++live_;
+  ++stats_.scheduled;
+  if (live_ > stats_.peak_pending) stats_.peak_pending = live_;
+  return EventId{pack(slot, s.gen)};
 }
+
+bool EventQueue::cancel(EventId id) {
+  const auto slot = static_cast<std::uint32_t>(id.value >> 32);
+  const auto gen = static_cast<std::uint32_t>(id.value);
+  if (gen == 0 || slot >= slots_.size() || slots_[slot].gen != gen)
+    return false;
+  // Wheel events unlink eagerly; a spilled event leaves a 24 B reference in
+  // the heap that retains nothing (the closure dies here) and is dropped
+  // when it surfaces.
+  if (slots_[slot].in_wheel) unlink_wheel(slot);
+  free_slot(slot);
+  --live_;
+  ++stats_.cancelled;
+  return true;
+}
+
+EventQueue::Next EventQueue::fire_next(Time limit) {
+  for (;;) {
+    if (live_ == 0) return Next::kEmpty;
+    migrate();
+    const std::uint32_t b = find_bucket(wbase_);
+    if (b == kWheelSize) {
+      // Wheel completely empty: every pending event is spilled beyond the
+      // window. Jump the window to the earliest one (idle-gap skip).
+      while (!heap_.empty() && stale(heap_.front())) {
+        std::pop_heap(heap_.begin(), heap_.end(), RefLater{});
+        heap_.pop_back();
+      }
+      if (heap_.empty()) return Next::kEmpty;
+      const Time t = heap_.front().at;
+      if (t > limit) return Next::kBeyond;
+      wbase_ = t;
+      continue;  // migrate() pulls it into the wheel
+    }
+
+    // Every listed slot is live; pick the smallest (at, seq) — exact FIFO
+    // tie-break regardless of insertion order.
+    std::uint32_t best = wheel_[b];
+    for (std::uint32_t cur = slots_[best].next; cur != kNoSlot;
+         cur = slots_[cur].next) {
+      const Slot& c = slots_[cur];
+      const Slot& bst = slots_[best];
+      if (c.at < bst.at || (c.at == bst.at && c.seq < bst.seq)) best = cur;
+    }
+
+    Slot& chosen = slots_[best];
+    if (chosen.at > limit) return Next::kBeyond;
+    unlink_wheel(best);
+    Action act = std::move(chosen.action);
+    now_ = chosen.at;
+    wbase_ = chosen.at;
+    free_slot(best);
+    --live_;
+    ++stats_.fired;
+    act();  // may schedule or cancel; the queue is consistent by now
+    return Next::kFired;
+  }
+}
+
+bool EventQueue::step() { return fire_next(INT64_MAX) == Next::kFired; }
 
 std::uint64_t EventQueue::run(Time until) {
   std::uint64_t fired = 0;
-  while (!heap_.empty()) {
-    // Drop cancelled entries before looking at the horizon so a dead entry
-    // inside the window can't trick step() into firing one beyond it.
-    if (!live_.contains(heap_.top().seq)) {
-      heap_.pop();
-      continue;
-    }
-    if (heap_.top().at > until) break;
-    if (step()) ++fired;
-  }
+  while (fire_next(until) == Next::kFired) ++fired;
   // Advance the clock to the horizon so repeated bounded runs make progress
   // even through idle gaps.
-  if (until != INT64_MAX && now_ < until) now_ = until;
+  if (until != INT64_MAX && now_ < until) {
+    now_ = until;
+    if (wbase_ < until) wbase_ = until;
+  }
   return fired;
 }
 
@@ -51,10 +201,33 @@ std::uint64_t EventQueue::run_events(std::uint64_t max_events) {
 }
 
 void EventQueue::reset() {
-  heap_ = {};
-  live_.clear();
+  // Visit only occupied buckets (the bitmap is exact for the wheel).
+  for (std::uint32_t w = 0; w < kWordCount; ++w) {
+    std::uint64_t bits = occupied_[w];
+    while (bits) {
+      const auto b =
+          (w << 6) + static_cast<std::uint32_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      std::uint32_t cur = wheel_[b];
+      while (cur != kNoSlot) {
+        const std::uint32_t nxt = slots_[cur].next;
+        free_slot(cur);  // rewrites `next` as the free-list link
+        cur = nxt;
+      }
+      wheel_[b] = kNoSlot;
+    }
+  }
+  for (const Ref& r : heap_)
+    if (!stale(r)) free_slot(r.slot);
+  heap_.clear();
+  occupied_.fill(0);
+  summary_ = 0;
+  live_ = 0;
   now_ = 0;
+  wbase_ = 0;
   next_seq_ = 1;
+  // stats_ is cumulative across reset(): it describes the engine's whole
+  // lifetime, and benches read it per-cluster anyway.
 }
 
 }  // namespace itb::sim

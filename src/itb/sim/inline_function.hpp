@@ -1,0 +1,140 @@
+// Small-buffer-optimized move-only callable.
+//
+// The event engine schedules tens of millions of closures per simulated
+// run; std::function heap-allocates every capture larger than its tiny
+// internal buffer (two pointers on libstdc++), which puts an allocator
+// round trip on the hottest path in the simulator. InlineFunction stores
+// captures up to InlineBytes directly inside the object — every scheduling
+// closure in this repo (a `this` pointer plus a few scalars, occasionally a
+// small vector) fits — and only falls back to the heap for oversized or
+// throwing-move callables, so the schedule path is allocation-free.
+//
+// Move-only on purpose: a scheduled action is consumed exactly once, and
+// copyability is what forces std::function to heap-allocate shared state.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace itb::sim {
+
+template <typename Sig, std::size_t InlineBytes = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  static constexpr std::size_t kInlineBytes = InlineBytes;
+
+  InlineFunction() = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept {
+    if (other.ops_) {
+      other.ops_->relocate(storage_, other.storage_);
+      ops_ = std::exchange(other.ops_, nullptr);
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      if (other.ops_) {
+        other.ops_->relocate(storage_, other.storage_);
+        ops_ = std::exchange(other.ops_, nullptr);
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Whether the callable lives in the inline buffer (empty functions count
+  /// as inline: nothing was allocated). Exposed so tests can assert the
+  /// schedule path stays allocation-free.
+  bool is_inline() const { return !ops_ || ops_->inline_storage; }
+
+  /// Invoke. Precondition: engaged.
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* storage, Args&&... args);
+    // Move-construct the callable into dst from src, then destroy src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= InlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static D* as(void* storage) {
+    return std::launder(reinterpret_cast<D*>(storage));
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* s, Args&&... args) -> R {
+        return (*as<D>(s))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        D* f = as<D>(src);
+        ::new (dst) D(std::move(*f));
+        f->~D();
+      },
+      [](void* s) noexcept { as<D>(s)->~D(); },
+      true,
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* s, Args&&... args) -> R {
+        return (**as<D*>(s))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*as<D*>(src));
+      },
+      [](void* s) noexcept { delete *as<D*>(s); },
+      false,
+  };
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace itb::sim

@@ -180,7 +180,23 @@ void write_series_json(JsonWriter& w, std::string_view run,
 
 Telemetry::Telemetry(sim::EventQueue& queue, sim::Tracer& tracer,
                      sim::Duration sample_period)
-    : queue_(queue), sampler_(queue, tracer, sample_period) {}
+    : queue_(queue), sampler_(queue, tracer, sample_period) {
+  // Scheduler self-metrics: how the event engine behaved during the run.
+  registry_.register_source("sim", "events_fired", MetricKind::kCounter,
+                            [&queue] { return double(queue.stats().fired); });
+  registry_.register_source("sim", "events_cancelled", MetricKind::kCounter, [&queue] {
+    return double(queue.stats().cancelled);
+  });
+  registry_.register_source("sim", "peak_pending", MetricKind::kGauge, [&queue] {
+    return double(queue.stats().peak_pending);
+  });
+  registry_.register_source("sim", "events_wheel", MetricKind::kCounter, [&queue] {
+    return double(queue.stats().wheel_scheduled);
+  });
+  registry_.register_source("sim", "events_spilled", MetricKind::kCounter, [&queue] {
+    return double(queue.stats().spill_scheduled);
+  });
+}
 
 void Telemetry::write_json(std::ostream& out) const {
   JsonWriter w(out);
@@ -238,11 +254,21 @@ void BenchReport::add_histogram(std::string name, std::string run,
 
 void BenchReport::add_counters(std::string run,
                                const MetricRegistry& registry) {
-  counters_.push_back(TaggedCounters{std::move(run), registry.snapshot()});
+  add_counters(std::move(run), registry.snapshot());
+}
+
+void BenchReport::add_counters(std::string run,
+                               std::vector<MetricSample> samples) {
+  counters_.push_back(TaggedCounters{std::move(run), std::move(samples)});
 }
 
 void BenchReport::add_series(std::string run, const Sampler& sampler) {
-  series_.push_back(TaggedSeries{std::move(run), sampler.series()});
+  add_series(std::move(run), sampler.series());
+}
+
+void BenchReport::add_series(std::string run,
+                             std::vector<Sampler::Series> series) {
+  series_.push_back(TaggedSeries{std::move(run), std::move(series)});
 }
 
 void BenchReport::write(std::ostream& out) const {

@@ -135,6 +135,10 @@ class BenchReport {
   /// so multiple clusters (original vs modified MCP, UD vs ITB) coexist.
   void add_counters(std::string run, const MetricRegistry& registry);
   void add_series(std::string run, const Sampler& sampler);
+  /// By-value variants for parallel sweeps, where the cluster (and its
+  /// registry/sampler) is gone by the time results are merged in order.
+  void add_counters(std::string run, std::vector<MetricSample> samples);
+  void add_series(std::string run, std::vector<Sampler::Series> series);
 
   void write(std::ostream& out) const;
   /// Returns false when the file cannot be opened.

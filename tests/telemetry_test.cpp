@@ -144,6 +144,22 @@ TEST(MetricRegistry, HandlesAndSources) {
   EXPECT_EQ(inert.value(), 0u);
 }
 
+TEST(Telemetry, ExportsEventEngineStats) {
+  sim::EventQueue q;
+  sim::Tracer tracer;
+  telemetry::Telemetry tel(q, tracer);
+  auto a = q.schedule_at(10, [] {});
+  q.schedule_at(20, [] {});
+  q.schedule_at(5'000'000, [] {});  // far timer -> spill heap
+  q.cancel(a);
+  q.run();
+  EXPECT_EQ(tel.registry().value("sim", "events_fired"), 2.0);
+  EXPECT_EQ(tel.registry().value("sim", "events_cancelled"), 1.0);
+  EXPECT_EQ(tel.registry().value("sim", "peak_pending"), 3.0);
+  EXPECT_EQ(tel.registry().value("sim", "events_wheel"), 2.0);
+  EXPECT_EQ(tel.registry().value("sim", "events_spilled"), 1.0);
+}
+
 TEST(MetricRegistry, DuplicateRegistrationThrows) {
   telemetry::MetricRegistry reg;
   reg.counter("gm", "sent", {.host = 0, .channel = -1});
