@@ -10,7 +10,6 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
 
   network_ = std::make_unique<net::Network>(config_.topology,
                                             config_.net_timing, queue_, tracer_);
-  network_->set_fault_plan(config_.fault_plan);
   for (std::uint16_t h = 0; h < hosts; ++h) {
     pci_.push_back(std::make_unique<host::PciBus>(queue_, config_.pci_timing));
     nics_.push_back(std::make_unique<nic::Nic>(
@@ -48,6 +47,28 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
         queue_, *nics_[h], *muxes_.back(), ip::IpConfig{}));
   }
 
+  // Fault injection + remap-and-recover. The injector is only built when
+  // the config actually schedules faults, keeping the faithful-wire hot
+  // path free of hook checks.
+  if (config_.fault_plan.active() || !config_.fault_schedule.empty()) {
+    fault_injector_ = std::make_unique<fault::FaultInjector>(
+        queue_, tracer_, *network_, config_.fault_plan, config_.fault_schedule);
+    if (config_.auto_remap && !config_.manual_routes &&
+        config_.fault_schedule.has_topology_faults()) {
+      std::vector<nic::Nic*> nic_ptrs;
+      nic_ptrs.reserve(nics_.size());
+      for (auto& nic : nics_) nic_ptrs.push_back(nic.get());
+      fault::RecoveryManager::Config rc;
+      rc.policy = config_.policy;
+      rc.selection = config_.itb_selection;
+      rc.preferred_root_host = config_.mapper_root_host;
+      rc.remap_delay = config_.remap_delay;
+      recovery_ = std::make_unique<fault::RecoveryManager>(
+          queue_, tracer_, config_.topology, *fault_injector_,
+          std::move(nic_ptrs), rc);
+    }
+  }
+
   wire_telemetry();
 }
 
@@ -59,6 +80,8 @@ void Cluster::wire_telemetry() {
   for (auto& nic : nics_) nic->register_metrics(reg);
   for (auto& port : gm_ports_) port->register_metrics(reg);
   for (auto& ip : ip_stacks_) ip->register_metrics(reg);
+  if (fault_injector_) fault_injector_->register_metrics(reg);
+  if (recovery_) recovery_->register_metrics(reg);
 
   // Default sampler probes (see the telemetry() doc comment in the header).
   auto& s = telemetry_->sampler();

@@ -18,6 +18,9 @@
 #include <optional>
 #include <vector>
 
+#include "itb/fault/fault.hpp"
+#include "itb/fault/injector.hpp"
+#include "itb/fault/recovery.hpp"
 #include "itb/gm/port.hpp"
 #include "itb/host/pci.hpp"
 #include "itb/ip/stack.hpp"
@@ -41,8 +44,17 @@ struct ClusterConfig {
   nic::McpOptions mcp_options;  // defaults to the ITB-capable MCP
   host::PciTiming pci_timing;
   gm::GmConfig gm_config;
-  /// Fault injection for reliability tests (defaults to a faithful wire).
-  net::FaultPlan fault_plan;
+  /// Probabilistic last-hop faults for reliability tests (defaults to a
+  /// faithful wire).
+  fault::FaultPlan fault_plan;
+  /// Timed fault windows (link/switch/host down, NIC stalls); empty by
+  /// default. Injected deterministically off the event queue.
+  fault::FaultSchedule fault_schedule;
+  /// Re-run the mapper and hot-swap route tables when a topology-affecting
+  /// fault window opens or closes (no effect with manual_routes).
+  bool auto_remap = true;
+  /// Detection + recompute + download time charged per remap.
+  sim::Duration remap_delay = 500 * sim::kUs;
   /// Host that runs the mapper.
   std::uint16_t mapper_root_host = 0;
   /// Which host on a switch takes in-transit duty (kSpread balances the
@@ -85,6 +97,11 @@ class Cluster {
   telemetry::Telemetry& telemetry() { return *telemetry_; }
   const telemetry::Telemetry& telemetry() const { return *telemetry_; }
   gm::GmPort& port(std::uint16_t host) { return *gm_ports_.at(host); }
+  /// Fault injector; nullptr when the config schedules no faults.
+  fault::FaultInjector* faults() { return fault_injector_.get(); }
+  /// Remap-and-recover manager; nullptr unless auto_remap applies to a
+  /// schedule with topology faults.
+  fault::RecoveryManager* recovery() { return recovery_.get(); }
   ip::IpStack& ip(std::uint16_t host) { return *ip_stacks_.at(host); }
   nic::Nic& nic(std::uint16_t host) { return *nics_.at(host); }
   const topo::Topology& topology() const { return config_.topology; }
@@ -115,6 +132,8 @@ class Cluster {
   std::vector<std::unique_ptr<gm::GmPort>> gm_ports_;
   std::vector<std::unique_ptr<nic::NicMux>> muxes_;
   std::vector<std::unique_ptr<ip::IpStack>> ip_stacks_;
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
+  std::unique_ptr<fault::RecoveryManager> recovery_;
   // Last member: its registry sources and sampler probes point into the
   // components above, so it must be destroyed first.
   std::unique_ptr<telemetry::Telemetry> telemetry_;

@@ -1,0 +1,118 @@
+#include "itb/fault/recovery.hpp"
+
+#include <string>
+
+namespace itb::fault {
+
+topo::Topology degraded_topology(const topo::Topology& full,
+                                 const FaultInjector& injector) {
+  topo::Topology out;
+  for (std::uint16_t s = 0; s < full.switch_count(); ++s) {
+    const auto& spec = full.switch_spec(s);
+    out.add_switch(spec.ports, spec.name);
+  }
+  for (std::uint16_t h = 0; h < full.host_count(); ++h)
+    out.add_host(full.host_spec(h).name);
+  for (topo::LinkId l = 0; l < full.link_count(); ++l) {
+    if (injector.link_impaired(l)) continue;
+    const auto& link = full.link(l);
+    out.connect(link.a, link.b, link.kind);
+  }
+  return out;
+}
+
+RecoveryManager::RecoveryManager(sim::EventQueue& queue, sim::Tracer& tracer,
+                                 const topo::Topology& fabric,
+                                 FaultInjector& injector,
+                                 std::vector<nic::Nic*> nics, Config config)
+    : queue_(queue),
+      tracer_(tracer),
+      fabric_(fabric),
+      injector_(injector),
+      nics_(std::move(nics)),
+      config_(config) {
+  injector_.add_topology_listener(
+      [this](sim::Time t, const FaultWindow& w, bool opened) {
+        on_topology_event(t, w, opened);
+      });
+}
+
+void RecoveryManager::on_topology_event(sim::Time t, const FaultWindow& w,
+                                        bool opened) {
+  tracer_.emit(t, sim::TraceCategory::kFault, [&] {
+    return std::string("mapper notified: ") + to_string(w.kind) +
+           (opened ? " opened" : " closed") + ", remap in " +
+           std::to_string(config_.remap_delay) + " ns";
+  });
+  if (!pending_armed_) {
+    oldest_event_ = t;
+    pending_armed_ = true;
+  } else {
+    queue_.cancel(pending_);  // debounce: fold into one later remap
+  }
+  pending_ = queue_.schedule_in(config_.remap_delay, [this] { remap(); });
+}
+
+void RecoveryManager::remap() {
+  pending_armed_ = false;
+  const auto degraded = degraded_topology(fabric_, injector_);
+
+  // Map from the preferred root if it survived, else the lowest live host.
+  std::optional<std::uint16_t> root;
+  auto live = [&](std::uint16_t h) {
+    return degraded.host_attached(h) && !injector_.host_down(h);
+  };
+  if (live(config_.preferred_root_host)) {
+    root = config_.preferred_root_host;
+  } else {
+    for (std::uint16_t h = 0; h < degraded.host_count(); ++h)
+      if (live(h)) { root = h; break; }
+  }
+  if (!root) {
+    ++stats_.failed_remaps;
+    tracer_.emit(queue_.now(), sim::TraceCategory::kFault,
+                 [] { return std::string("remap failed: no live host"); });
+    return;
+  }
+
+  table_ = mapper::run(degraded, config_.policy, *root, config_.selection,
+                       /*allow_partial=*/true);
+  for (nic::Nic* nic : nics_) nic->load_routes(table_->table);
+
+  stats_.unreachable_hosts =
+      degraded.host_count() - table_->report.hosts_found();
+  ++stats_.remaps;
+  const auto latency = queue_.now() - oldest_event_;
+  latency_.add(static_cast<double>(latency));
+  tracer_.emit(queue_.now(), sim::TraceCategory::kFault, [&] {
+    return "remap #" + std::to_string(stats_.remaps) + " from h" +
+           std::to_string(*root) + ": " +
+           std::to_string(table_->report.hosts_found()) + "/" +
+           std::to_string(degraded.host_count()) + " hosts reachable, " +
+           std::to_string(latency) + " ns after the fault";
+  });
+}
+
+void RecoveryManager::register_metrics(
+    telemetry::MetricRegistry& registry) const {
+  auto counter = [&registry](const char* name, const std::uint64_t& field) {
+    registry.register_source("fault", name, telemetry::MetricKind::kCounter,
+                             [&field] { return static_cast<double>(field); });
+  };
+  counter("remaps", stats_.remaps);
+  counter("failed_remaps", stats_.failed_remaps);
+  auto gauge = [&registry, this](const char* name, auto fn) {
+    registry.register_source("fault", name, telemetry::MetricKind::kGauge,
+                             std::move(fn));
+  };
+  gauge("recovery_latency_p50_ns",
+        [this] { return latency_.empty() ? 0.0 : latency_.percentile(50); });
+  gauge("recovery_latency_p99_ns",
+        [this] { return latency_.empty() ? 0.0 : latency_.percentile(99); });
+  gauge("recovery_latency_max_ns",
+        [this] { return static_cast<double>(latency_.max()); });
+  gauge("unreachable_hosts",
+        [this] { return static_cast<double>(stats_.unreachable_hosts); });
+}
+
+}  // namespace itb::fault

@@ -1,0 +1,89 @@
+// Remap-and-recover (§3).
+//
+// When GM's mapper detects a topology change it recomputes the up*/down*
+// tree over the surviving fabric and downloads fresh route tables; GM's
+// go-back-N retransmission masks the outage from applications. This module
+// reproduces that loop against the fault injector: every topology-affecting
+// window open/close schedules a (debounced) remap `remap_delay` later —
+// modelling the detection + recompute time — which rebuilds the degraded
+// topology, re-runs mapper discovery/up*/down*/ITB path computation with
+// allow_partial, and hot-swaps every NIC's route table. The time from the
+// first unrecovered fault event to the table swap is the recovery latency,
+// recorded in a histogram and exported through the telemetry registry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "itb/fault/injector.hpp"
+#include "itb/mapper/mapper.hpp"
+#include "itb/nic/nic.hpp"
+#include "itb/routing/table.hpp"
+#include "itb/sim/event_queue.hpp"
+#include "itb/telemetry/histogram.hpp"
+#include "itb/telemetry/metrics.hpp"
+
+namespace itb::fault {
+
+/// Copy of `full` with every impaired link removed. Hosts and switches all
+/// remain (indices must stay stable for routing); hosts whose uplink died
+/// are simply unattached.
+topo::Topology degraded_topology(const topo::Topology& full,
+                                 const FaultInjector& injector);
+
+class RecoveryManager {
+ public:
+  struct Config {
+    routing::Policy policy = routing::Policy::kItb;
+    routing::ItbHostSelection selection = routing::ItbHostSelection::kLowestIndex;
+    std::uint16_t preferred_root_host = 0;
+    /// Detection + recompute + download time between a topology event and
+    /// the route-table swap. Further events inside the delay coalesce into
+    /// the same remap (debounce), as one mapper pass covers them all.
+    sim::Duration remap_delay = 500 * sim::kUs;
+  };
+
+  struct Stats {
+    std::uint64_t remaps = 0;
+    std::uint64_t failed_remaps = 0;       // no live root host to map from
+    std::uint64_t unreachable_hosts = 0;   // at the most recent remap
+  };
+
+  RecoveryManager(sim::EventQueue& queue, sim::Tracer& tracer,
+                  const topo::Topology& fabric, FaultInjector& injector,
+                  std::vector<nic::Nic*> nics, Config config);
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  const Stats& stats() const { return stats_; }
+  const telemetry::LatencyHistogram& recovery_latency() const { return latency_; }
+  /// Route table installed by the most recent remap; nullptr before any.
+  const routing::RouteTable* current_table() const {
+    return table_ ? &table_->table : nullptr;
+  }
+
+  /// Publish remap counters + recovery-latency percentiles under "fault".
+  void register_metrics(telemetry::MetricRegistry& registry) const;
+
+ private:
+  void on_topology_event(sim::Time t, const FaultWindow& w, bool opened);
+  void remap();
+
+  sim::EventQueue& queue_;
+  sim::Tracer& tracer_;
+  const topo::Topology& fabric_;
+  FaultInjector& injector_;
+  std::vector<nic::Nic*> nics_;
+  Config config_;
+  Stats stats_;
+  telemetry::LatencyHistogram latency_;
+
+  std::optional<mapper::MapResult> table_;
+  sim::EventId pending_;
+  bool pending_armed_ = false;
+  sim::Time oldest_event_ = 0;  // first unrecovered topology event
+};
+
+}  // namespace itb::fault

@@ -4,6 +4,20 @@
 #include <stdexcept>
 
 namespace itb::gm {
+namespace {
+
+// Serial-number (RFC 1982-style) comparison: wrap-safe as long as the live
+// sequence numbers of a connection span less than 2^31, which go-back-N
+// windows guarantee by orders of magnitude. Plain <= breaks the first time
+// a long soak crosses the 2^32 boundary.
+constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+constexpr bool seq_leq(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+
+}  // namespace
 
 GmPort::GmPort(sim::EventQueue& queue, sim::Tracer& tracer, nic::Nic& nic,
                const GmConfig& config)
@@ -11,14 +25,30 @@ GmPort::GmPort(sim::EventQueue& queue, sim::Tracer& tracer, nic::Nic& nic,
   nic_.set_client(this);
 }
 
+GmPort::TxConn& GmPort::tx_conn(std::uint16_t dst) {
+  auto [it, fresh] = tx_.try_emplace(dst);
+  if (fresh) {
+    it->second.next_seq = config_.initial_seq;
+    it->second.highest_acked = config_.initial_seq - 1;
+  }
+  return it->second;
+}
+
+GmPort::RxConn& GmPort::rx_conn(std::uint16_t src) {
+  auto [it, fresh] = rx_.try_emplace(src);
+  if (fresh) it->second.expected_seq = config_.initial_seq;
+  return it->second;
+}
+
 bool GmPort::send(std::uint16_t dst, packet::Bytes message,
                   SendCallback on_sent) {
   if (tokens_in_use_ >= config_.send_tokens) return false;
   if (message.empty()) throw std::invalid_argument("empty message");
+  TxConn& conn = tx_conn(dst);
+  if (conn.dead) return false;  // reset_connection() revives
   ++tokens_in_use_;
   ++stats_.messages_sent;
 
-  TxConn& conn = tx_[dst];
   const std::uint32_t msg_id = next_msg_id_++;
   const auto msg_len = static_cast<std::uint32_t>(message.size());
 
@@ -51,8 +81,25 @@ bool GmPort::send(std::uint16_t dst, packet::Bytes message,
   return true;
 }
 
+bool GmPort::peer_failed(std::uint16_t dst) const {
+  auto it = tx_.find(dst);
+  return it != tx_.end() && it->second.dead;
+}
+
+void GmPort::reset_connection(std::uint16_t dst) {
+  auto it = tx_.find(dst);
+  if (it != tx_.end()) {
+    TxConn& conn = it->second;
+    if (conn.timer_armed) queue_.cancel(conn.timer);
+    tokens_in_use_ -= static_cast<int>(conn.messages.size());
+    tx_.erase(it);
+  }
+  rx_.erase(dst);
+}
+
 void GmPort::pump(std::uint16_t dst) {
-  TxConn& conn = tx_[dst];
+  TxConn& conn = tx_conn(dst);
+  if (conn.dead) return;
   while (!conn.unsent.empty() &&
          conn.unacked.size() < static_cast<std::size_t>(config_.window)) {
     Fragment f = std::move(conn.unsent.front());
@@ -64,11 +111,21 @@ void GmPort::pump(std::uint16_t dst) {
 }
 
 void GmPort::post_fragment(const Fragment& f) {
+  if (!nic_.has_route(f.header.dst_host)) {
+    // Mid-remap the table may have no route yet; the retransmission timer
+    // retries once the mapper downloads a fresh one.
+    ++stats_.packets_unroutable;
+    return;
+  }
   ++stats_.packets_data;
   nic_.post_send(f.header.dst_host, encode(f.header, f.data));
 }
 
 void GmPort::send_ack(std::uint16_t dst, std::uint32_t cum_seq) {
+  if (!nic_.has_route(dst)) {
+    ++stats_.packets_unroutable;  // sender retransmits; we re-ack then
+    return;
+  }
   GmHeader h;
   h.subtype = Subtype::kAck;
   h.src_host = nic_.host();
@@ -91,6 +148,10 @@ void GmPort::on_timeout(std::uint16_t dst) {
   TxConn& conn = tx_[dst];
   conn.timer_armed = false;
   if (conn.unacked.empty()) return;
+  if (config_.max_retries > 0 && conn.backoff >= config_.max_retries) {
+    fail_connection(dst);
+    return;
+  }
   // Go-back-N: re-post everything outstanding.
   tracer_.emit(queue_.now(), sim::TraceCategory::kGm, [&] {
     return "h" + std::to_string(nic_.host()) + " retransmit " +
@@ -103,6 +164,29 @@ void GmPort::on_timeout(std::uint16_t dst) {
   }
   ++conn.backoff;
   arm_timer(dst);
+}
+
+void GmPort::fail_connection(std::uint16_t dst) {
+  TxConn& conn = tx_[dst];
+  conn.dead = true;
+  if (conn.timer_armed) {
+    queue_.cancel(conn.timer);
+    conn.timer_armed = false;
+  }
+  conn.unsent.clear();
+  conn.unacked.clear();
+  std::deque<PendingMessage> failed;
+  failed.swap(conn.messages);
+  const auto n = static_cast<std::uint32_t>(failed.size());
+  tokens_in_use_ -= static_cast<int>(n);  // tokens return to the caller
+  ++stats_.send_failures;
+  stats_.messages_failed += n;
+  tracer_.emit(queue_.now(), sim::TraceCategory::kGm, [&] {
+    return "h" + std::to_string(nic_.host()) + " gives up on h" +
+           std::to_string(dst) + " after " + std::to_string(conn.backoff) +
+           " retries, failing " + std::to_string(n) + " messages";
+  });
+  if (failure_handler_) failure_handler_(queue_.now(), dst, n);
 }
 
 void GmPort::on_message(sim::Time t, packet::PacketType, packet::Bytes payload) {
@@ -120,14 +204,15 @@ void GmPort::handle_ack(const GmHeader& h) {
   auto it = tx_.find(h.src_host);
   if (it == tx_.end()) return;
   TxConn& conn = it->second;
-  if (h.seq <= conn.highest_acked) return;  // stale
+  if (conn.dead) return;  // late ack from a peer already written off
+  if (seq_leq(h.seq, conn.highest_acked)) return;  // stale
   conn.highest_acked = h.seq;
   conn.backoff = 0;  // progress: restore the base timeout
-  while (!conn.unacked.empty() && conn.unacked.front().header.seq <= h.seq)
+  while (!conn.unacked.empty() && seq_leq(conn.unacked.front().header.seq, h.seq))
     conn.unacked.pop_front();
 
   // Complete messages whose last fragment is now acknowledged.
-  while (!conn.messages.empty() && conn.messages.front().last_seq <= h.seq) {
+  while (!conn.messages.empty() && seq_leq(conn.messages.front().last_seq, h.seq)) {
     PendingMessage pm = std::move(conn.messages.front());
     conn.messages.pop_front();
     --tokens_in_use_;
@@ -142,15 +227,15 @@ void GmPort::handle_ack(const GmHeader& h) {
 }
 
 void GmPort::handle_data(sim::Time, const GmHeader& h, packet::Bytes data) {
-  RxConn& conn = rx_[h.src_host];
-  if (h.seq < conn.expected_seq) {
+  RxConn& conn = rx_conn(h.src_host);
+  if (seq_lt(h.seq, conn.expected_seq)) {
     // Duplicate of something already delivered: re-ack so the sender
     // advances past a lost acknowledgement.
     ++stats_.duplicates;
     send_ack(h.src_host, conn.expected_seq - 1);
     return;
   }
-  if (h.seq > conn.expected_seq) {
+  if (h.seq != conn.expected_seq) {
     // Gap: go-back-N receivers drop out-of-order packets and re-ack the
     // last in-order one.
     ++stats_.out_of_order;
@@ -205,6 +290,9 @@ void GmPort::register_metrics(telemetry::MetricRegistry& registry) const {
   source("retransmissions", stats_.retransmissions);
   source("duplicates", stats_.duplicates);
   source("out_of_order", stats_.out_of_order);
+  source("send_failures", stats_.send_failures);
+  source("messages_failed", stats_.messages_failed);
+  source("packets_unroutable", stats_.packets_unroutable);
   registry.register_source(
       "gm", "tokens_in_use", telemetry::MetricKind::kGauge,
       [this] { return static_cast<double>(tokens_in_use_); }, labels);

@@ -70,10 +70,12 @@ struct WalkState {
 
 }  // namespace
 
-DiscoveryReport discover(const topo::Topology& fabric,
-                         std::uint16_t root_host) {
+DiscoveryReport discover(const topo::Topology& fabric, std::uint16_t root_host,
+                         bool allow_partial) {
   if (root_host >= fabric.host_count())
     throw std::invalid_argument("root host out of range");
+  if (!fabric.host_attached(root_host))
+    throw std::invalid_argument("root host is unattached");
   WalkState state(fabric);
   const auto start = fabric.host_uplink(root_host).node.index;
   state.admit(start);
@@ -97,14 +99,15 @@ DiscoveryReport discover(const topo::Topology& fabric,
   for (const auto& h : state.hosts)
     report.discovered.attach_host(h.host, h.disc_sw, h.port, h.kind);
 
-  if (state.hosts.size() != fabric.host_count())
+  if (!allow_partial && state.hosts.size() != fabric.host_count())
     throw std::logic_error("mapper: fabric has unreachable hosts");
   return report;
 }
 
 MapResult run(const topo::Topology& fabric, routing::Policy policy,
-              std::uint16_t root_host, routing::ItbHostSelection selection) {
-  DiscoveryReport report = discover(fabric, root_host);
+              std::uint16_t root_host, routing::ItbHostSelection selection,
+              bool allow_partial) {
+  DiscoveryReport report = discover(fabric, root_host, allow_partial);
   // The mapper roots the spanning tree at its first discovered switch —
   // deterministic from its own point of view.
   routing::UpDown updown(report.discovered, 0);

@@ -40,8 +40,11 @@ struct DiscoveryReport {
 /// Walk the fabric starting from `root_host`'s uplink switch. The walk is
 /// deterministic: ports are scanned in ascending order, new switches are
 /// visited depth-first. Unattached ports cost one (unanswered) probe each.
-DiscoveryReport discover(const topo::Topology& fabric,
-                         std::uint16_t root_host);
+/// With `allow_partial` the walk tolerates unreachable hosts (remapping a
+/// fabric degraded by fault windows); they stay unattached in `discovered`.
+/// Otherwise unreachable hosts are a mapping error and throw.
+DiscoveryReport discover(const topo::Topology& fabric, std::uint16_t root_host,
+                         bool allow_partial = false);
 
 /// Full mapper run: discover, orient (root = first discovered switch),
 /// compute the all-pairs table under `policy`. The returned table's routes
@@ -54,6 +57,7 @@ struct MapResult {
 MapResult run(const topo::Topology& fabric, routing::Policy policy,
               std::uint16_t root_host = 0,
               routing::ItbHostSelection selection =
-                  routing::ItbHostSelection::kLowestIndex);
+                  routing::ItbHostSelection::kLowestIndex,
+              bool allow_partial = false);
 
 }  // namespace itb::mapper

@@ -1,7 +1,7 @@
 #include "itb/net/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace itb::net {
 
@@ -9,14 +9,22 @@ struct Network::Worm {
   TxHandle handle = 0;
   packet::Bytes bytes;
   std::uint16_t src_host = 0;
+  std::uint16_t dst_host = 0;   // set once the head reaches the final NIC
   sim::Time injected_at = 0;
   std::optional<sim::Time> data_ready_opt;
   sim::Time data_ready = 0;     // resolved at injection grant
   sim::Duration pipe_ns = 0;    // fixed per-hop latency the head has paid
   std::size_t orig_len = 0;
   std::vector<topo::Channel> held;
+  std::optional<topo::Channel> waiting_on;  // parked in this channel's queue
   sim::Time tail_time = -1;     // set once the head reaches the final NIC
+  bool rx_started = false;      // on_rx_head fired at the destination
+  bool tx_signaled = false;     // on_tx_complete / on_tx_dropped fired
   bool done = false;
+  // Pending events, cancelled if a fault kills the worm mid-flight.
+  sim::EventId pending;         // next head hop / tail arrival
+  sim::EventId early_event;     // early-header callback
+  sim::EventId src_done_event;  // source on_tx_complete
 };
 
 std::optional<Network::RxPeek> Network::peek_rx(TxHandle h) const {
@@ -33,16 +41,10 @@ Network::Network(const topo::Topology& topo, const NetTiming& timing,
       timing_(timing),
       queue_(queue),
       tracer_(tracer),
-      fault_rng_(FaultPlan{}.seed),
       hooks_(topo.host_count(), nullptr),
       rx_ready_(topo.host_count(), true),
       channels_(topo.link_count() * 2),
       channel_busy_(topo.link_count() * 2, 0) {}
-
-void Network::set_fault_plan(const FaultPlan& plan) {
-  faults_ = plan;
-  fault_rng_ = sim::Rng(plan.seed);
-}
 
 Network::~Network() = default;
 
@@ -87,38 +89,67 @@ TxHandle Network::inject(std::uint16_t host, packet::Bytes bytes,
     return "inject h" + std::to_string(host) + " tx" +
            std::to_string(w->handle) + " " + packet::describe(w->bytes);
   });
+  const TxHandle handle = w->handle;
   request_channel(w, *entry);
-  return w->handle;
+  return handle;
 }
 
 void Network::set_host_rx_ready(std::uint16_t host, bool ready) {
   rx_ready_.at(host) = ready;
-  if (!ready) return;
   // A waiter may have been parked on the (free) channel into this host.
-  const auto up = topo_.host_uplink(host);
-  // Channel into the host: leaves the switch through the uplink port.
-  auto into = channel_out(up.node, up.port);
-  if (!into) return;
-  auto& st = channels_[channel_index(*into)];
-  if (!st.busy && !st.waiters.empty()) {
-    Worm* w = st.waiters.front();
-    st.waiters.pop_front();
-    grant_channel(w, *into);
-  }
+  if (ready) rearbitrate_host(host);
 }
 
 bool Network::host_rx_ready(std::uint16_t host) const {
   return rx_ready_.at(host);
 }
 
+void Network::rearbitrate_host(std::uint16_t host) {
+  const auto up = topo_.host_uplink(host);
+  // Channel into the host: leaves the switch through the uplink port.
+  auto into = channel_out(up.node, up.port);
+  if (into) arbitrate(*into);
+}
+
+bool Network::host_gate_closed(topo::Endpoint target) const {
+  if (target.node.kind != topo::NodeKind::kHost) return false;
+  if (!rx_ready_[target.node.index]) return true;
+  return fault_hook_ && !fault_hook_->host_accepting(target.node.index);
+}
+
+void Network::on_link_state(topo::LinkId link, bool up) {
+  tracer_.emit(queue_.now(), sim::TraceCategory::kFault, [&] {
+    return "link " + std::to_string(link) + (up ? " up" : " down");
+  });
+  for (const bool fwd : {true, false}) {
+    const topo::Channel c{link, fwd};
+    auto& st = channels_[channel_index(c)];
+    if (up) {
+      arbitrate(c);
+      continue;
+    }
+    while (!st.waiters.empty()) {
+      Worm* v = st.waiters.front();
+      st.waiters.pop_front();
+      v->waiting_on.reset();
+      kill_worm(v, c, "link down");
+    }
+    if (st.busy && st.owner) kill_worm(st.owner, c, "link down");
+  }
+}
+
 void Network::request_channel(Worm* w, topo::Channel c) {
+  if (fault_hook_ && !fault_hook_->channel_usable(c)) {
+    // The head ran into a dead link: the bytes are gone.
+    kill_worm(w, c, "channel unusable");
+    return;
+  }
   auto& st = channels_[channel_index(c)];
-  const auto target = topo_.channel_target(c);
-  const bool gated = target.node.kind == topo::NodeKind::kHost &&
-                     !rx_ready_[target.node.index];
-  if (st.busy || gated || !st.waiters.empty()) {
+  if (st.busy || host_gate_closed(topo_.channel_target(c)) ||
+      !st.waiters.empty()) {
     ++stats_.head_blocks;
     st.waiters.push_back(w);
+    w->waiting_on = c;
     return;
   }
   grant_channel(w, c);
@@ -128,6 +159,8 @@ void Network::grant_channel(Worm* w, topo::Channel c) {
   auto& st = channels_[channel_index(c)];
   st.busy = true;
   st.busy_since = queue_.now();
+  st.owner = w;
+  w->waiting_on.reset();
   w->held.push_back(c);
 
   const bool is_entry = w->held.size() == 1;
@@ -141,7 +174,26 @@ void Network::grant_channel(Worm* w, topo::Channel c) {
   const sim::Duration hop = timing_.link_latency_ns + timing_.byte_time(1);
   w->pipe_ns += hop;
   const auto arrival = topo_.channel_target(c);
-  queue_.schedule_in(hop, [this, w, arrival] { head_at_node(w, arrival); });
+  w->pending =
+      queue_.schedule_in(hop, [this, w, arrival] { head_at_node(w, arrival); });
+}
+
+void Network::arbitrate(topo::Channel c) {
+  auto& st = channels_[channel_index(c)];
+  if (fault_hook_ && !fault_hook_->channel_usable(c)) {
+    while (!st.waiters.empty()) {
+      Worm* v = st.waiters.front();
+      st.waiters.pop_front();
+      v->waiting_on.reset();
+      kill_worm(v, c, "channel unusable");
+    }
+    return;
+  }
+  if (st.busy || st.waiters.empty()) return;
+  if (host_gate_closed(topo_.channel_target(c))) return;
+  Worm* next = st.waiters.front();
+  st.waiters.pop_front();
+  grant_channel(next, c);
 }
 
 void Network::head_at_node(Worm* w, topo::Endpoint arrival) {
@@ -177,7 +229,8 @@ void Network::head_at_node(Worm* w, topo::Endpoint arrival) {
            std::to_string(arrival.node.index) + " -> port " +
            std::to_string(out_port);
   });
-  queue_.schedule_in(ft, [this, w, out = *out] { request_channel(w, out); });
+  w->pending =
+      queue_.schedule_in(ft, [this, w, out = *out] { request_channel(w, out); });
 }
 
 void Network::complete_at_host(Worm* w, std::uint16_t host,
@@ -187,6 +240,8 @@ void Network::complete_at_host(Worm* w, std::uint16_t host,
     drop(w, "destination host not attached");
     return;
   }
+  w->dst_host = host;
+  w->rx_started = true;
   hooks->on_rx_head(head_arrival, w->handle);
 
   const auto len = static_cast<std::int64_t>(w->bytes.size());
@@ -196,9 +251,10 @@ void Network::complete_at_host(Worm* w, std::uint16_t host,
   packet::Bytes head4(w->bytes.begin(),
                       w->bytes.begin() + std::min<std::int64_t>(len, 4));
   const TxHandle handle = w->handle;
-  queue_.schedule_at(early, [this, hooks, handle, head4 = std::move(head4)] {
-    hooks->on_rx_early_header(queue_.now(), handle, head4);
-  });
+  w->early_event =
+      queue_.schedule_at(early, [this, hooks, handle, head4 = std::move(head4)] {
+        hooks->on_rx_early_header(queue_.now(), handle, head4);
+      });
 
   // Tail arrival: pipeline behind the head, but never before the source
   // even had the data (virtual cut-through coupling).
@@ -207,29 +263,32 @@ void Network::complete_at_host(Worm* w, std::uint16_t host,
   w->tail_time = tail;
   // The source's last byte departs one pipe latency before the tail lands.
   const sim::Time src_done = std::max(queue_.now(), tail - w->pipe_ns);
-  const std::uint16_t src = w->src_host;
-  queue_.schedule_at(src_done, [this, src, handle] {
-    hooks_[src]->on_tx_complete(queue_.now(), handle);
+  w->src_done_event = queue_.schedule_at(src_done, [this, w] {
+    w->tx_signaled = true;
+    hooks_[w->src_host]->on_tx_complete(queue_.now(), w->handle);
   });
 
-  queue_.schedule_at(tail, [this, w, host, hooks] {
+  w->pending = queue_.schedule_at(tail, [this, w, host, hooks] {
     // Fault injection (tests of GM's reliability claims, §3): a faulty
-    // last hop may lose the packet outright or flip a payload bit, which
+    // network may lose the packet outright or flip a payload bit, which
     // the CRC check at the receiving MCP turns into a discard.
     bool lost = false;
-    if (faults_.drop_probability > 0 &&
-        fault_rng_.next_bool(faults_.drop_probability)) {
-      lost = true;
-      ++stats_.faults_injected;
-    } else if (faults_.corrupt_probability > 0 &&
-               fault_rng_.next_bool(faults_.corrupt_probability) &&
-               w->bytes.size() > 3) {
-      const auto victim =
-          3 + fault_rng_.next_below(w->bytes.size() - 3);
-      w->bytes[victim] ^= 0x40;
-      ++stats_.faults_injected;
+    if (fault_hook_) {
+      switch (fault_hook_->delivery_fate(host, w->bytes)) {
+        case FaultHook::Fate::kDrop:
+          lost = true;
+          ++stats_.faults_injected;
+          ++stats_.lost;
+          break;
+        case FaultHook::Fate::kCorrupt:
+          ++stats_.faults_injected;
+          break;
+        case FaultHook::Fate::kDeliver:
+          break;
+      }
     }
-    ++stats_.delivered;
+    // A lost packet is never delivered: it counts under lost only.
+    if (!lost) ++stats_.delivered;
     tracer_.emit(queue_.now(), sim::TraceCategory::kLink, [&] {
       return "tx" + std::to_string(w->handle) + (lost ? " LOST before h" : " delivered to h") +
              std::to_string(host);
@@ -249,19 +308,14 @@ void Network::release_channels(Worm* w) {
   for (auto c : w->held) {
     auto& st = channels_[channel_index(c)];
     st.busy = false;
+    st.owner = nullptr;
     channel_busy_[channel_index(c)] += queue_.now() - st.busy_since;
-    if (st.waiters.empty()) continue;
-    // Re-arbitrate: the front waiter gets the channel unless the host gate
-    // holds it back, in which case it stays parked.
-    const auto target = topo_.channel_target(c);
-    const bool gated = target.node.kind == topo::NodeKind::kHost &&
-                       !rx_ready_[target.node.index];
-    if (gated) continue;
-    Worm* next = st.waiters.front();
-    st.waiters.pop_front();
-    grant_channel(next, c);
   }
-  w->held.clear();
+  // Grant to waiters only after every channel is marked free; arbitration
+  // may kill a waiter (fault window), which releases further channels.
+  std::vector<topo::Channel> freed;
+  freed.swap(w->held);
+  for (auto c : freed) arbitrate(c);
 }
 
 void Network::drop(Worm* w, const char* why) {
@@ -269,9 +323,39 @@ void Network::drop(Worm* w, const char* why) {
   tracer_.emit(queue_.now(), sim::TraceCategory::kLink, [&] {
     return "tx" + std::to_string(w->handle) + " dropped: " + why;
   });
+  w->tx_signaled = true;
   if (hooks_[w->src_host]) hooks_[w->src_host]->on_tx_dropped(queue_.now(), w->handle);
   release_channels(w);
   finish_worm(w);
+}
+
+void Network::kill_worm(Worm* w, topo::Channel at, const char* why) {
+  if (w->done) return;
+  queue_.cancel(w->pending);
+  queue_.cancel(w->early_event);
+  queue_.cancel(w->src_done_event);
+  if (w->waiting_on) {
+    auto& st = channels_[channel_index(*w->waiting_on)];
+    std::erase(st.waiters, w);
+    w->waiting_on.reset();
+  }
+  ++stats_.faults_injected;
+  ++stats_.lost;
+  if (fault_hook_) fault_hook_->note_kill(at);
+  tracer_.emit(queue_.now(), sim::TraceCategory::kFault, [&] {
+    return "tx" + std::to_string(w->handle) + " killed at link " +
+           std::to_string(at.link) + ": " + why;
+  });
+  const TxHandle handle = w->handle;
+  const std::uint16_t src = w->src_host;
+  const std::uint16_t dst = w->dst_host;
+  const bool notify_tx = !w->tx_signaled;
+  const bool notify_rx = w->rx_started;
+  w->tx_signaled = true;
+  release_channels(w);
+  finish_worm(w);  // may free w (compaction) — only locals below
+  if (notify_tx && hooks_[src]) hooks_[src]->on_tx_dropped(queue_.now(), handle);
+  if (notify_rx && hooks_[dst]) hooks_[dst]->on_rx_aborted(queue_.now(), handle);
 }
 
 void Network::finish_worm(Worm* w) {
@@ -294,6 +378,7 @@ void Network::register_metrics(telemetry::MetricRegistry& registry) const {
   source("dropped", stats_.dropped);
   source("head_blocks", stats_.head_blocks);
   source("faults_injected", stats_.faults_injected);
+  source("lost", stats_.lost);
   for (std::size_t c = 0; c < channel_busy_.size(); ++c)
     registry.register_source(
         "net", "channel_busy_ns", telemetry::MetricKind::kGauge,

@@ -20,6 +20,12 @@
 // data_ready is when the *source* had the last byte available — the hook
 // that models virtual cut-through re-injection of a packet that is still
 // being received (§4).
+//
+// Fault injection is delegated to a FaultHook (fault::FaultInjector): the
+// network consults it before every channel grant (a down link kills the worm
+// at that hop), at the host gate (a stalled NIC parks traffic losslessly),
+// and at each segment delivery (probabilistic drop/corrupt). With no hook
+// installed the wire is faithful and none of the checks run.
 #pragma once
 
 #include <cstdint>
@@ -31,7 +37,6 @@
 #include "itb/net/timing.hpp"
 #include "itb/net/wire_packet.hpp"
 #include "itb/sim/event_queue.hpp"
-#include "itb/sim/rng.hpp"
 #include "itb/sim/trace.hpp"
 #include "itb/telemetry/metrics.hpp"
 #include "itb/topo/topology.hpp"
@@ -63,7 +68,9 @@ class HostHooks {
   /// The injection's last byte left the NIC (send DMA free again).
   virtual void on_tx_complete(sim::Time t, TxHandle h) = 0;
 
-  /// The packet was dropped in the network (malformed route). Diagnostic.
+  /// The packet was discarded at or near injection (malformed route, or a
+  /// fault killed it before the source finished streaming). The send DMA is
+  /// free again.
   virtual void on_tx_dropped(sim::Time /*t*/, TxHandle /*h*/) {}
 
   /// A reception that began (on_rx_head fired) will never complete — the
@@ -72,22 +79,40 @@ class HostHooks {
   virtual void on_rx_aborted(sim::Time /*t*/, TxHandle /*h*/) {}
 };
 
-/// Counters exposed for benches and tests.
+/// Counters exposed for benches and tests. At quiescence
+///   injected == delivered + dropped + lost.
 struct NetworkStats {
   std::uint64_t injected = 0;
   std::uint64_t delivered = 0;
-  std::uint64_t dropped = 0;
+  std::uint64_t dropped = 0;      // malformed route / unattached destination
   std::uint64_t head_blocks = 0;  // times a head had to queue for a channel
-  std::uint64_t faults_injected = 0;  // packets killed/corrupted by FaultPlan
+  std::uint64_t faults_injected = 0;  // fault events (kills + corruptions)
+  std::uint64_t lost = 0;             // packets destroyed by faults
 };
 
-/// Fault injection: GM promises "reliable and ordered packet delivery in
-/// presence of network faults" (§3); this is how the test suite makes the
-/// network unfaithful. Probabilities are per delivered packet.
-struct FaultPlan {
-  double drop_probability = 0.0;     // packet vanishes at the last hop
-  double corrupt_probability = 0.0;  // one payload byte is flipped
-  std::uint64_t seed = 0x5EED;
+/// Fault-injection interface (implemented by fault::FaultInjector). The
+/// network never decides fates itself; it only reports them in its stats.
+class FaultHook {
+ public:
+  enum class Fate : std::uint8_t { kDeliver, kDrop, kCorrupt };
+
+  virtual ~FaultHook() = default;
+
+  /// May a head cross this channel right now? false kills the worm here —
+  /// bytes entering a dead link are gone, wormhole offers no recovery.
+  virtual bool channel_usable(topo::Channel c) const = 0;
+
+  /// Is the NIC at `host` accepting receptions? false models a stalled NIC:
+  /// traffic parks under Stop&Go backpressure, nothing is lost.
+  virtual bool host_accepting(std::uint16_t host) const = 0;
+
+  /// Fate of a packet whose tail just reached `host`. A kCorrupt verdict
+  /// flips payload byte(s) in `bytes` in place before delivery.
+  virtual Fate delivery_fate(std::uint16_t host, packet::Bytes& bytes) = 0;
+
+  /// A worm was killed by a channel_usable() veto at `at` (cause
+  /// accounting: link / switch / host windows each keep their own counter).
+  virtual void note_kill(topo::Channel at) = 0;
 };
 
 class Network {
@@ -110,9 +135,18 @@ class Network {
   TxHandle inject(std::uint16_t host, packet::Bytes bytes,
                   std::optional<sim::Time> data_ready = std::nullopt);
 
-  /// Arm fault injection (replaces any previous plan; a default-constructed
-  /// plan disables it).
-  void set_fault_plan(const FaultPlan& plan);
+  /// Install (or clear, with nullptr) the fault hook. The hook must outlive
+  /// the network or be cleared before destruction.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+
+  /// The fault hook reports a link's state changed. Down: every worm
+  /// holding or waiting for either directed channel is killed. Up: both
+  /// channels re-arbitrate.
+  void on_link_state(topo::LinkId link, bool up);
+
+  /// Re-run arbitration for the channel into `host` (used when a NIC-stall
+  /// fault window closes; parked traffic resumes).
+  void rearbitrate_host(std::uint16_t host);
 
   /// Receive-buffer gate: while false, the channel into `host` is not
   /// granted and upstream packets stall (Stop&Go backpressure).
@@ -153,6 +187,7 @@ class Network {
   struct ChannelState {
     bool busy = false;
     sim::Time busy_since = 0;
+    Worm* owner = nullptr;  // holder while busy (kill target on link-down)
     std::deque<Worm*> waiters;
   };
 
@@ -161,8 +196,7 @@ class Network {
   sim::EventQueue& queue_;
   sim::Tracer& tracer_;
   NetworkStats stats_;
-  FaultPlan faults_;
-  sim::Rng fault_rng_;
+  FaultHook* fault_hook_ = nullptr;
 
   std::vector<HostHooks*> hooks_;     // by host index
   std::vector<bool> rx_ready_;        // by host index
@@ -180,12 +214,21 @@ class Network {
   std::optional<topo::Channel> channel_out(topo::NodeId from,
                                            std::uint8_t port) const;
 
+  /// The host gate: rx-buffer backpressure or a NIC-stall fault window.
+  bool host_gate_closed(topo::Endpoint target) const;
+
   void request_channel(Worm* w, topo::Channel c);
   void grant_channel(Worm* w, topo::Channel c);
   void release_channels(Worm* w);
+  /// Grant `c` to its front waiter if it is free, usable and ungated; if the
+  /// fault hook vetoes the channel, every parked waiter is killed.
+  void arbitrate(topo::Channel c);
   void head_at_node(Worm* w, topo::Endpoint arrival);
   void complete_at_host(Worm* w, std::uint16_t host, sim::Time head_arrival);
   void drop(Worm* w, const char* why);
+  /// Destroy an in-flight worm at `at` (fault kill): cancels its scheduled
+  /// events, releases its channels and fires the abort-side hooks.
+  void kill_worm(Worm* w, topo::Channel at, const char* why);
   void finish_worm(Worm* w);
 };
 

@@ -110,6 +110,13 @@ class Nic final : public net::HostHooks {
   /// Install routes for every destination from a computed table.
   void load_routes(const routing::RouteTable& table);
 
+  /// True when a (non-empty) route toward `dst` is installed. Degraded
+  /// tables leave unreachable destinations route-less; callers check this
+  /// instead of eating post_send's no-route throw.
+  bool has_route(std::uint16_t dst) const {
+    return dst < routes_.size() && !routes_[dst].empty();
+  }
+
   /// Queue a payload for transmission; returns the send token. Fragmenting
   /// messages into MTU-sized packets is the GM layer's job.
   std::uint64_t post_send(std::uint16_t dst, packet::Bytes payload,

@@ -10,11 +10,14 @@ const char* to_string(Policy p) {
 
 RouteTable::RouteTable(const Router& router, Policy policy)
     : policy_(policy), hosts_(router.topology().host_count()) {
+  const auto& topo = router.topology();
   routes_.reserve(hosts_ * hosts_);
   for (std::uint16_t s = 0; s < hosts_; ++s) {
     for (std::uint16_t d = 0; d < hosts_; ++d) {
-      if (s == d) {
-        routes_.emplace_back();  // unused diagonal slot
+      // Unattached hosts appear in degraded topologies (fault windows that
+      // cut a host off); their pairs get empty routes, like the diagonal.
+      if (s == d || !topo.host_attached(s) || !topo.host_attached(d)) {
+        routes_.emplace_back();  // unused diagonal / unreachable slot
         continue;
       }
       routes_.push_back(policy == Policy::kUpDown ? router.updown_route(s, d)
@@ -38,7 +41,9 @@ double RouteTable::average_trunk_hops() const {
   for (std::uint16_t s = 0; s < hosts_; ++s)
     for (std::uint16_t d = 0; d < hosts_; ++d) {
       if (s == d) continue;
-      total += route(s, d).trunk_hops();
+      const HostPath& r = route(s, d);
+      if (r.segments.empty()) continue;  // unreachable in a degraded table
+      total += r.trunk_hops();
       ++pairs;
     }
   return pairs ? static_cast<double>(total) / static_cast<double>(pairs) : 0.0;
@@ -49,7 +54,9 @@ double RouteTable::minimal_fraction(const Router& router) const {
   for (std::uint16_t s = 0; s < hosts_; ++s)
     for (std::uint16_t d = 0; d < hosts_; ++d) {
       if (s == d) continue;
-      if (route(s, d).trunk_hops() == router.minimal_distance(s, d)) ++minimal;
+      const HostPath& r = route(s, d);
+      if (r.segments.empty()) continue;  // unreachable in a degraded table
+      if (r.trunk_hops() == router.minimal_distance(s, d)) ++minimal;
       ++pairs;
     }
   return pairs ? static_cast<double>(minimal) / static_cast<double>(pairs) : 1.0;
@@ -60,7 +67,9 @@ double RouteTable::average_itbs() const {
   for (std::uint16_t s = 0; s < hosts_; ++s)
     for (std::uint16_t d = 0; d < hosts_; ++d) {
       if (s == d) continue;
-      total += route(s, d).itb_count();
+      const HostPath& r = route(s, d);
+      if (r.segments.empty()) continue;  // unreachable in a degraded table
+      total += r.itb_count();
       ++pairs;
     }
   return pairs ? static_cast<double>(total) / static_cast<double>(pairs) : 0.0;

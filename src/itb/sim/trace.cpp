@@ -13,6 +13,7 @@ const char* to_string(TraceCategory c) {
     case TraceCategory::kMapper: return "mapper";
     case TraceCategory::kWorkload: return "workload";
     case TraceCategory::kTelemetry: return "telemetry";
+    case TraceCategory::kFault: return "fault";
   }
   return "?";
 }

@@ -22,6 +22,7 @@ enum class TraceCategory {
   kMapper,
   kWorkload,
   kTelemetry,  // sampler ticks and registry events
+  kFault,      // fault windows, kills, remaps
 };
 
 const char* to_string(TraceCategory c);

@@ -121,6 +121,10 @@ Endpoint Topology::host_uplink(std::uint16_t host) const {
   return *p;
 }
 
+bool Topology::host_attached(std::uint16_t host) const {
+  return peer(host_id(host), 0).has_value();
+}
+
 bool Topology::connected() const {
   const std::size_t total = switches_.size() + hosts_.size();
   if (total == 0) return true;

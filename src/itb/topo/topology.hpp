@@ -124,6 +124,10 @@ class Topology {
   /// The switch a host hangs off (its only link). Throws if unattached.
   Endpoint host_uplink(std::uint16_t host) const;
 
+  /// True when the host has an uplink. Degraded topologies (fault windows
+  /// cutting a host off) legitimately carry unattached hosts.
+  bool host_attached(std::uint16_t host) const;
+
   /// True if every node can reach every other node.
   bool connected() const;
 

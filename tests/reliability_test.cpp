@@ -160,4 +160,67 @@ TEST(Reliability, DeterministicUnderFaults) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(Reliability, SequenceNumbersSurviveWraparound) {
+  // Regression: cumulative-ack comparisons used plain <= on the 32-bit
+  // sequence space, so the first connection to cross 2^32 stalled forever
+  // (every ack looked "stale"). Serial-number arithmetic must carry a lossy
+  // connection straight across the boundary.
+  core::ClusterConfig cfg;
+  cfg.topology = topo::make_fig1_network();
+  cfg.fault_plan.drop_probability = 0.1;
+  cfg.fault_plan.seed = 9;
+  cfg.gm_config.retransmit_timeout = 200 * sim::kUs;
+  cfg.gm_config.initial_seq = 0xFFFFFFF0u;  // wraps within the first packets
+  core::Cluster c(std::move(cfg));
+  auto got = exchange(c, 0, 7, 40, 900);
+  ASSERT_EQ(got.order.size(), 40u);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(got.order[static_cast<size_t>(i)], i);
+  EXPECT_GT(c.network().stats().lost, 0u);
+}
+
+TEST(Reliability, LostPacketsAreNotCountedDelivered) {
+  // Regression: the network used to bump stats_.delivered even for packets
+  // the fault injector swallowed; injected must now reconcile exactly with
+  // delivered + dropped + lost, and the loss ledger must match the
+  // injector's by-cause accounting.
+  auto c = lossy_cluster(0.3, 0.0, routing::Policy::kUpDown, 4242);
+  auto got = exchange(*c, 0, 7, 25, 900);
+  ASSERT_EQ(got.order.size(), 25u);
+  const auto& ns = c->network().stats();
+  EXPECT_GT(ns.lost, 0u);
+  EXPECT_EQ(ns.injected, ns.delivered + ns.dropped + ns.lost);
+  ASSERT_NE(c->faults(), nullptr);
+  EXPECT_EQ(ns.lost, c->faults()->stats().lost_drop);
+  EXPECT_EQ(ns.faults_injected,
+            c->faults()->stats().lost_drop + c->faults()->stats().corrupted);
+}
+
+TEST(Reliability, SenderGivesUpAfterMaxRetries) {
+  // Regression: on_timeout retransmitted forever. Against a wire that eats
+  // every packet the sender must declare the peer dead after max_retries,
+  // fail the pending messages and hand the tokens back.
+  core::ClusterConfig cfg;
+  cfg.topology = topo::make_fig1_network();
+  cfg.fault_plan.drop_probability = 1.0;  // nothing ever arrives
+  cfg.gm_config.retransmit_timeout = 50 * sim::kUs;
+  cfg.gm_config.max_retries = 4;
+  core::Cluster c(std::move(cfg));
+  std::uint32_t failed = 0;
+  c.port(0).set_send_failure_handler(
+      [&](sim::Time, std::uint16_t, std::uint32_t n) { failed += n; });
+  ASSERT_TRUE(c.port(0).send(7, Bytes(600, 1)));
+  ASSERT_TRUE(c.port(0).send(7, Bytes(600, 2)));
+  EXPECT_EQ(c.port(0).tokens_in_use(), 2);
+  c.run();
+  EXPECT_TRUE(c.port(0).peer_failed(7));
+  EXPECT_EQ(failed, 2u);
+  EXPECT_EQ(c.port(0).stats().send_failures, 1u);
+  EXPECT_EQ(c.port(0).stats().messages_failed, 2u);
+  EXPECT_EQ(c.port(0).tokens_in_use(), 0);
+  EXPECT_EQ(c.port(0).stats().retransmissions,
+            4u * 2u);  // 4 barren rounds x 2 outstanding packets
+  // The queue drained: no timer left spinning on the dead connection.
+  EXPECT_FALSE(c.port(0).send(7, Bytes(10, 3)));
+}
+
 }  // namespace
