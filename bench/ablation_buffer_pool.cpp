@@ -22,6 +22,7 @@
 
 #include "itb/core/cluster.hpp"
 #include "itb/core/parallel.hpp"
+#include "itb/health/watchdog.hpp"
 #include "itb/telemetry/export.hpp"
 #include "itb/workload/load.hpp"
 
@@ -41,12 +42,14 @@ struct Outcome {
   // Captured for --json runs, by value: the cluster dies with the run.
   std::vector<telemetry::MetricSample> counters;
   std::vector<telemetry::Sampler::Series> series;
+  health::LivenessVerdict liveness;  // --watchdog only
 };
 
 /// Star topology stressing one in-transit host: four sources on switch 0,
 /// four sinks on switch 1; every route is forced through the ITB host h8
 /// on switch 0, so its NIC forwards every packet.
-Outcome run(int recv_buffers, bool drop_when_full, bool sample) {
+Outcome run(int recv_buffers, bool drop_when_full, bool sample,
+            bool watchdog) {
   topo::Topology topo;
   topo.add_switch(16);
   topo.add_switch(16);
@@ -74,6 +77,7 @@ Outcome run(int recv_buffers, bool drop_when_full, bool sample) {
     r[d][s] = {{1, static_cast<std::uint8_t>(2 + s)}};
   }
   cfg.manual_routes = std::move(r);
+  cfg.watchdog.enabled = watchdog;
   core::Cluster cluster(std::move(cfg));
 
   Outcome out;
@@ -119,6 +123,7 @@ Outcome run(int recv_buffers, bool drop_when_full, bool sample) {
     out.counters = cluster.telemetry().registry().snapshot();
     out.series = cluster.telemetry().sampler().series();
   }
+  if (watchdog) out.liveness = cluster.health()->verdict();
   return out;
 }
 
@@ -127,6 +132,7 @@ Outcome run(int recv_buffers, bool drop_when_full, bool sample) {
 int main(int argc, char** argv) {
   const auto json_path = telemetry::json_flag(argc, argv);
   const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
+  const bool watchdog = health::watchdog_flag(argc, argv);
   telemetry::BenchReport report("ablation_buffer_pool");
   report.set_param("messages", 4 * 30);
   report.set_param("message_bytes", 2048);
@@ -150,13 +156,16 @@ int main(int argc, char** argv) {
   auto outcomes = core::run_sweep_parallel(
       configs.size(),
       [&](std::size_t i) {
-        return run(configs[i].buffers, configs[i].drop, rp != nullptr);
+        return run(configs[i].buffers, configs[i].drop, rp != nullptr,
+                   watchdog);
       },
       jobs);
 
+  health::LivenessVerdict liveness;
   for (std::size_t i = 0; i < configs.size(); ++i) {
     const auto& [drop, buffers] = configs[i];
     Outcome& o = outcomes[i];
+    liveness.merge(o.liveness);
     const std::string mode = drop ? "drop" : "backpressure";
     const std::string tag = mode + "_b" + std::to_string(buffers);
     std::printf("%8d %12s | %12.1f %8llu %10llu %10llu\n", buffers,
@@ -185,8 +194,10 @@ int main(int argc, char** argv) {
               "GM retransmission recovers them at a\nmakespan cost; larger "
               "pools eliminate drops (the paper notes 8 MB of NIC\nSRAM "
               "makes overflow 'very unusual').\n");
+  if (watchdog) health::print_liveness_summary(liveness);
 
   if (json_path) {
+    if (watchdog) health::add_liveness_scalars(report, liveness);
     if (!report.write(*json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
       return 1;

@@ -19,6 +19,7 @@
 
 #include "itb/core/experiments.hpp"
 #include "itb/core/parallel.hpp"
+#include "itb/health/watchdog.hpp"
 #include "itb/telemetry/export.hpp"
 #include "itb/workload/pingpong.hpp"
 
@@ -34,12 +35,15 @@ struct OverheadOutput {
   telemetry::LatencyHistogram itb_hist;
   std::vector<telemetry::MetricSample> counters;  // want_series pairs only
   std::vector<telemetry::Sampler::Series> series;
+  health::LivenessVerdict liveness;  // --watchdog only, both clusters merged
 };
 
 OverheadOutput itb_overhead(const nic::McpOptions& options, std::size_t size,
-                            bool sample, bool want_series) {
-  auto ud = core::make_fig8_cluster(false, options);
-  auto itb = core::make_fig8_cluster(true, options);
+                            bool sample, bool want_series, bool watchdog) {
+  health::WatchdogConfig wc;
+  wc.enabled = watchdog;
+  auto ud = core::make_fig8_cluster(false, options, {}, wc);
+  auto itb = core::make_fig8_cluster(true, options, {}, wc);
   if (sample) itb->telemetry().start_sampling();
   auto a = workload::run_pingpong(ud->queue(), ud->port(core::kHost1),
                                   ud->port(core::kHost2), size, 20);
@@ -63,6 +67,10 @@ OverheadOutput itb_overhead(const nic::McpOptions& options, std::size_t size,
       out.series = itb->telemetry().sampler().series();
     }
   }
+  if (watchdog) {
+    out.liveness = ud->health()->verdict();
+    out.liveness.merge(itb->health()->verdict());
+  }
   return out;
 }
 
@@ -71,6 +79,7 @@ OverheadOutput itb_overhead(const nic::McpOptions& options, std::size_t size,
 int main(int argc, char** argv) {
   const auto json_path = telemetry::json_flag(argc, argv);
   const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
+  const bool watchdog = health::watchdog_flag(argc, argv);
   const std::size_t sizes[] = {16, 256, 1024, 4000};
 
   telemetry::BenchReport report("ablation_early_recv");
@@ -106,15 +115,17 @@ int main(int argc, char** argv) {
         const std::size_t size = sizes[i / std::size(variants)];
         const Variant& v = variants[i % std::size(variants)];
         return itb_overhead(v.options, size, rp != nullptr,
-                            std::string_view(v.run) == "paper");
+                            std::string_view(v.run) == "paper", watchdog);
       },
       jobs);
 
+  health::LivenessVerdict liveness;
   for (std::size_t si = 0; si < std::size(sizes); ++si) {
     const std::size_t size = sizes[si];
     double overhead[std::size(variants)];
     for (std::size_t vi = 0; vi < std::size(variants); ++vi) {
       OverheadOutput& o = outputs[si * std::size(variants) + vi];
+      liveness.merge(o.liveness);
       overhead[vi] = o.overhead_ns;
       if (rp) {
         const std::string tag =
@@ -143,8 +154,10 @@ int main(int argc, char** argv) {
               "(store-and-forward); dropping Recv-side\nre-injection adds "
               "one dispatch cycle (%d LANai cycles).\n",
               nic::LanaiTiming{}.dispatch);
+  if (watchdog) health::print_liveness_summary(liveness);
 
   if (json_path) {
+    if (watchdog) health::add_liveness_scalars(report, liveness);
     if (!report.write(*json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
       return 1;

@@ -17,6 +17,7 @@
 
 #include "itb/core/cluster.hpp"
 #include "itb/core/parallel.hpp"
+#include "itb/health/watchdog.hpp"
 #include "itb/telemetry/export.hpp"
 #include "itb/workload/pingpong.hpp"
 
@@ -30,11 +31,12 @@ struct MeasureOutput {
   workload::AllsizeRow row;
   std::vector<telemetry::MetricSample> counters;
   std::vector<telemetry::Sampler::Series> series;
+  health::LivenessVerdict liveness;  // --watchdog only
 };
 
 MeasureOutput measure(topo::PortKind src_kind, topo::PortKind dst_kind,
                       topo::PortKind trunk_kind, std::size_t size,
-                      bool sample) {
+                      bool sample, bool watchdog) {
   topo::Topology topo;
   topo.add_switch(8);
   topo.add_switch(8);
@@ -46,6 +48,7 @@ MeasureOutput measure(topo::PortKind src_kind, topo::PortKind dst_kind,
 
   core::ClusterConfig cfg;
   cfg.topology = std::move(topo);
+  cfg.watchdog.enabled = watchdog;
   core::Cluster cluster(std::move(cfg));
   workload::AllsizeConfig acfg;
   acfg.iterations = 20;
@@ -63,6 +66,7 @@ MeasureOutput measure(topo::PortKind src_kind, topo::PortKind dst_kind,
     out.counters = cluster.telemetry().registry().snapshot();
     out.series = cluster.telemetry().sampler().series();
   }
+  if (watchdog) out.liveness = cluster.health()->verdict();
   return out;
 }
 
@@ -74,6 +78,7 @@ int main(int argc, char** argv) {
   using topo::PortKind;
   const auto json_path = telemetry::json_flag(argc, argv);
   const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
+  const bool watchdog = health::watchdog_flag(argc, argv);
   const std::size_t size = 256;
 
   telemetry::BenchReport report("ablation_port_kinds");
@@ -100,13 +105,15 @@ int main(int argc, char** argv) {
       combos.size(),
       [&](std::size_t i) {
         const Combo& c = combos[i];
-        return measure(c.src, c.dst, c.trunk, size, rp != nullptr);
+        return measure(c.src, c.dst, c.trunk, size, rp != nullptr, watchdog);
       },
       jobs);
 
+  health::LivenessVerdict liveness;
   for (std::size_t i = 0; i < combos.size(); ++i) {
     const auto& [src, trunk, dst] = combos[i];
     MeasureOutput& o = outputs[i];
+    liveness.merge(o.liveness);
     const std::string tag =
         std::string(name(src)) + "_" + name(trunk) + "_" + name(dst);
     std::printf("%8s %8s %8s %14.3f\n", name(src), name(trunk), name(dst),
@@ -129,8 +136,10 @@ int main(int argc, char** argv) {
               "per traversal\n(default %lld ns); trunk LAN links are "
               "crossed by two fall-throughs and pay twice.\n",
               static_cast<long long>(net::NetTiming{}.lan_port_penalty_ns));
+  if (watchdog) health::print_liveness_summary(liveness);
 
   if (json_path) {
+    if (watchdog) health::add_liveness_scalars(report, liveness);
     if (!report.write(*json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
       return 1;

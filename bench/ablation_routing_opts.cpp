@@ -22,6 +22,7 @@
 
 #include "itb/core/cluster.hpp"
 #include "itb/core/parallel.hpp"
+#include "itb/health/watchdog.hpp"
 #include "itb/routing/table.hpp"
 #include "itb/sim/rng.hpp"
 #include "itb/telemetry/export.hpp"
@@ -71,8 +72,11 @@ topo::Topology make_topology(std::uint64_t seed) {
 
 /// Dynamic validation for the JSON report: run uniform load on the
 /// optimised configuration so the static claims (balanced duty, lower
-/// channel peak) are observable as utilization series.
-void validation_run(std::uint64_t seed, telemetry::BenchReport& report) {
+/// channel peak) are observable as utilization series. Returns the run's
+/// liveness verdict when the watchdog is armed.
+health::LivenessVerdict validation_run(std::uint64_t seed,
+                                       telemetry::BenchReport& report,
+                                       bool watchdog) {
   core::ClusterConfig cfg;
   cfg.topology = make_topology(seed);
   cfg.policy = routing::Policy::kItb;
@@ -83,6 +87,7 @@ void validation_run(std::uint64_t seed, telemetry::BenchReport& report) {
   cfg.gm_config.window = 32;
   cfg.gm_config.retransmit_timeout = 5 * sim::kMs;
   cfg.telemetry_sample_period = 500 * sim::kUs;
+  cfg.watchdog.enabled = watchdog;
   core::Cluster cluster(std::move(cfg));
   cluster.telemetry().start_sampling();
 
@@ -100,6 +105,7 @@ void validation_run(std::uint64_t seed, telemetry::BenchReport& report) {
   report.add_histogram("message_latency", "best_spread", r.latency_hist);
   report.add_counters("best_spread", cluster.telemetry().registry());
   report.add_series("best_spread", cluster.telemetry().sampler());
+  return watchdog ? cluster.health()->verdict() : health::LivenessVerdict{};
 }
 
 }  // namespace
@@ -107,6 +113,7 @@ void validation_run(std::uint64_t seed, telemetry::BenchReport& report) {
 int main(int argc, char** argv) {
   const auto json_path = telemetry::json_flag(argc, argv);
   const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
+  const bool watchdog = health::watchdog_flag(argc, argv);
   telemetry::BenchReport report("ablation_routing_opts");
 
   std::printf("Ablation: root selection and in-transit host selection "
@@ -176,8 +183,17 @@ int main(int argc, char** argv) {
               "channel peak;\nspread selection cuts the busiest ITB host's "
               "duty without touching hops.\n");
 
+  // The sweep above is static route-table analysis — only the validation
+  // run simulates traffic, so --watchdog attaches there (forcing the run
+  // even without --json so a liveness verdict always exists).
+  if (json_path || watchdog) {
+    const auto liveness = validation_run(11, report, watchdog);
+    if (watchdog) {
+      health::print_liveness_summary(liveness);
+      health::add_liveness_scalars(report, liveness);
+    }
+  }
   if (json_path) {
-    validation_run(11, report);
     if (!report.write(*json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
       return 1;

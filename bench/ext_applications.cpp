@@ -20,12 +20,15 @@
 
 #include "itb/core/cluster.hpp"
 #include "itb/core/parallel.hpp"
+#include "itb/health/watchdog.hpp"
 #include "itb/telemetry/export.hpp"
 #include "itb/workload/apps.hpp"
 
 namespace {
 
 using namespace itb;
+
+bool g_watchdog = false;
 
 std::unique_ptr<core::Cluster> make_cluster(routing::Policy policy,
                                             std::uint64_t seed) {
@@ -44,6 +47,7 @@ std::unique_ptr<core::Cluster> make_cluster(routing::Policy policy,
   cfg.gm_config.window = 32;
   cfg.gm_config.retransmit_timeout = 50 * sim::kMs;  // patient: ack RTT is large under bursts
   cfg.telemetry_sample_period = 500 * sim::kUs;
+  cfg.watchdog.enabled = g_watchdog;
   return std::make_unique<core::Cluster>(std::move(cfg));
 }
 
@@ -55,6 +59,7 @@ struct KernelOutput {
   workload::AppResult result;
   std::vector<telemetry::MetricSample> counters;
   std::vector<telemetry::Sampler::Series> series;
+  health::LivenessVerdict liveness;  // --watchdog only
 };
 
 KernelOutput run_kernel(
@@ -69,6 +74,7 @@ KernelOutput run_kernel(
     out.counters = cluster->telemetry().registry().snapshot();
     out.series = cluster->telemetry().sampler().series();
   }
+  if (g_watchdog) out.liveness = cluster->health()->verdict();
   return out;
 }
 
@@ -99,6 +105,7 @@ void report(const char* kernel, workload::AppResult ud,
 int main(int argc, char** argv) {
   const auto json_path = telemetry::json_flag(argc, argv);
   const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
+  g_watchdog = health::watchdog_flag(argc, argv);
   telemetry::BenchReport bench_report("ext_applications");
   if (json_path) g_report = &bench_report;
   const std::uint64_t seed = 1977;
@@ -143,9 +150,12 @@ int main(int argc, char** argv) {
       },
       jobs);
 
+  health::LivenessVerdict liveness;
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     KernelOutput& ud = outputs[2 * i];
     KernelOutput& itb = outputs[2 * i + 1];
+    liveness.merge(ud.liveness);
+    liveness.merge(itb.liveness);
     if (g_report) {
       const std::string base = kernels[i].name;
       g_report->add_counters(base + "_ud", std::move(ud.counters));
@@ -159,8 +169,10 @@ int main(int argc, char** argv) {
   std::printf("\nExpected: the bursty all-to-all gains most (root "
               "decongestion); the ring is\nlatency-bound and nearly "
               "unaffected; master/worker sits in between.\n");
+  if (g_watchdog) health::print_liveness_summary(liveness);
 
   if (json_path) {
+    if (g_watchdog) health::add_liveness_scalars(bench_report, liveness);
     if (!bench_report.write(*json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
       return 1;

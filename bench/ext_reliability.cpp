@@ -22,6 +22,7 @@
 
 #include "itb/core/cluster.hpp"
 #include "itb/core/parallel.hpp"
+#include "itb/health/watchdog.hpp"
 #include "itb/telemetry/export.hpp"
 
 namespace {
@@ -54,12 +55,18 @@ const Scenario kScenarios[] = {
 struct ChaosLevel {
   const char* name;
   int link_windows, switch_windows, host_windows, stall_windows;
+  int hotspot_bursts = 0;  // §8 hotspot preset: a stall train on one host
 };
 
 const ChaosLevel kChaosLevels[] = {
     {"calm", 0, 0, 0, 0},
     {"light", 2, 0, 0, 1},
     {"heavy", 8, 2, 2, 1},
+    // Deterministic hotspot-burst train: each release floods the target
+    // NIC's pool at once — the §8 wedge-shaped load, under lossless
+    // backpressure. The liveness watchdog (--watchdog) must see any stall
+    // this provokes and report it in the verdict.
+    {"hotspot", 0, 0, 0, 0, 6},
 };
 
 const double kDropRates[] = {0.0, 0.02, 0.1};
@@ -78,10 +85,11 @@ struct PointResult {
   sim::Time end = 0;
   bool reconciled = false;
   std::vector<telemetry::MetricSample> counters;
+  health::LivenessVerdict liveness;  // --watchdog only
 };
 
 PointResult run_point(const Scenario& sc, double drop, const ChaosLevel& lvl,
-                      bool want_counters) {
+                      bool want_counters, bool watchdog) {
   core::ClusterConfig cfg;
   cfg.topology = sc.make();
   cfg.policy = sc.policy;
@@ -90,7 +98,7 @@ PointResult run_point(const Scenario& sc, double drop, const ChaosLevel& lvl,
   cfg.gm_config.max_retries = 12;
   cfg.remap_delay = 300 * sim::kUs;
   if (lvl.link_windows + lvl.switch_windows + lvl.host_windows +
-      lvl.stall_windows) {
+      lvl.stall_windows + lvl.hotspot_bursts) {
     fault::FaultSchedule::ChaosSpec spec;
     spec.horizon = kChaosHorizon;
     spec.link_windows = lvl.link_windows;
@@ -99,8 +107,12 @@ PointResult run_point(const Scenario& sc, double drop, const ChaosLevel& lvl,
     spec.stall_windows = lvl.stall_windows;
     spec.mean_duration = 1 * sim::kMs;
     spec.protected_hosts = {sc.src, sc.dst};
+    spec.hotspot_bursts = lvl.hotspot_bursts;
+    spec.hotspot_stall = 400 * sim::kUs;
+    spec.hotspot_gap = 200 * sim::kUs;
     cfg.fault_schedule = fault::FaultSchedule::chaos(cfg.topology, spec);
   }
+  cfg.watchdog.enabled = watchdog;
   core::Cluster c(std::move(cfg));
 
   std::vector<int> delivered(kMessages, 0);
@@ -136,13 +148,19 @@ PointResult run_point(const Scenario& sc, double drop, const ChaosLevel& lvl,
   r.failed = c.port(sc.src).stats().messages_failed;
   const auto& ns = c.network().stats();
   r.lost = ns.lost;
+  if (watchdog) r.liveness = c.health()->verdict();
+  // Forced ejections are watchdog-attributed losses: net.lost but not on
+  // the fault injector's ledger, so the reconciliation admits exactly that
+  // many extra.
+  const std::uint64_t ejected = r.liveness.forced_ejections;
   if (auto* f = c.faults()) {
     const auto& fs = f->stats();
     r.lost_windows = fs.lost_link_down + fs.lost_switch_down + fs.lost_host_down;
-    r.reconciled = ns.lost == fs.total_lost() &&
+    r.reconciled = ns.lost == fs.total_lost() + ejected &&
                    ns.injected == ns.delivered + ns.dropped + ns.lost;
   } else {
-    r.reconciled = ns.lost == 0 && ns.injected == ns.delivered + ns.dropped;
+    r.reconciled = ns.lost == ejected &&
+                   ns.injected == ns.delivered + ns.dropped + ns.lost;
   }
   if (auto* rec = c.recovery()) {
     r.remaps = rec->stats().remaps;
@@ -162,6 +180,7 @@ PointResult run_point(const Scenario& sc, double drop, const ChaosLevel& lvl,
 int main(int argc, char** argv) {
   const auto json_path = telemetry::json_flag(argc, argv);
   const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
+  const bool watchdog = health::watchdog_flag(argc, argv);
   telemetry::BenchReport report("ext_reliability");
   report.set_param("messages", kMessages);
   report.set_param("message_bytes", kMessageBytes);
@@ -188,7 +207,8 @@ int main(int argc, char** argv) {
       points.size(),
       [&](std::size_t i) {
         const Point& p = points[i];
-        auto r = run_point(*p.sc, p.drop, *p.lvl, json_path.has_value());
+        auto r = run_point(*p.sc, p.drop, *p.lvl, json_path.has_value(),
+                           watchdog);
         r.run_name = std::string(p.sc->name) + "_" + p.lvl->name + "_d" +
                      std::to_string(static_cast<int>(p.drop * 100));
         return r;
@@ -196,9 +216,11 @@ int main(int argc, char** argv) {
       jobs);
 
   bool all_exactly_once = true;
+  health::LivenessVerdict liveness;
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
     PointResult& r = results[i];
+    liveness.merge(r.liveness);
     std::printf("%-13s %-6s %-6.2f | %5d %5d %4d %6llu | %6llu %7llu %6llu "
                 "%7llu | %7.1fus\n",
                 p.sc->name, p.lvl->name, p.drop, r.accepted,
@@ -235,6 +257,15 @@ int main(int argc, char** argv) {
       row.num["recovery_p99_ns"] = r.recovery_p99_ns;
       row.num["sim_end_ns"] = static_cast<double>(r.end);
       row.num["exactly_once"] = ok ? 1.0 : 0.0;
+      if (watchdog) {
+        row.num["health_stalls"] = static_cast<double>(r.liveness.stalls);
+        row.num["health_recoveries"] =
+            static_cast<double>(r.liveness.recoveries);
+        row.num["health_forced_ejections"] =
+            static_cast<double>(r.liveness.forced_ejections);
+        row.num["health_unrecovered"] =
+            static_cast<double>(r.liveness.unrecovered);
+      }
       report.add_row("chaos_soak", std::move(row));
       report.add_counters(r.run_name, std::move(r.counters));
     }
@@ -244,8 +275,10 @@ int main(int argc, char** argv) {
                             ? "All runs delivered exactly once with a "
                               "reconciled loss ledger."
                             : "EXACTLY-ONCE VIOLATION: see rows above.");
+  if (watchdog) health::print_liveness_summary(liveness);
 
   if (json_path) {
+    if (watchdog) health::add_liveness_scalars(report, liveness);
     if (!report.write(*json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
       return 1;

@@ -24,6 +24,7 @@
 
 #include "itb/core/cluster.hpp"
 #include "itb/core/parallel.hpp"
+#include "itb/health/watchdog.hpp"
 #include "itb/routing/deadlock.hpp"
 #include "itb/telemetry/export.hpp"
 #include "itb/workload/load.hpp"
@@ -57,10 +58,11 @@ struct PointOutput {
   workload::LoadResult load;
   std::vector<telemetry::MetricSample> counters;      // sampled point only
   std::vector<telemetry::Sampler::Series> series;     // sampled point only
+  health::LivenessVerdict liveness;                   // --watchdog only
 };
 
 PointOutput run_point(routing::Policy policy, std::uint64_t seed, double rate,
-                      bool sample) {
+                      bool sample, bool watchdog) {
   core::ClusterConfig cfg;
   cfg.topology = make_network(seed);
   cfg.policy = policy;
@@ -78,6 +80,7 @@ PointOutput run_point(routing::Policy policy, std::uint64_t seed, double rate,
   cfg.gm_config.retransmit_timeout = 5 * sim::kMs;
   // Coarse sampling: the 12 ms run yields ~24 points per channel.
   cfg.telemetry_sample_period = 500 * sim::kUs;
+  cfg.watchdog.enabled = watchdog;
   core::Cluster cluster(std::move(cfg));
 
   if (sample) cluster.telemetry().start_sampling();
@@ -95,13 +98,15 @@ PointOutput run_point(routing::Policy policy, std::uint64_t seed, double rate,
     out.counters = cluster.telemetry().registry().snapshot();
     out.series = cluster.telemetry().sampler().series();
   }
+  if (watchdog) out.liveness = cluster.health()->verdict();
   return out;
 }
 
 std::vector<SweepPoint> sweep(routing::Policy policy, std::uint64_t seed,
                               const std::vector<double>& rates,
                               telemetry::BenchReport* report,
-                              const std::string& run, unsigned jobs) {
+                              const std::string& run, unsigned jobs,
+                              health::LivenessVerdict* liveness) {
   // Every rate is an independent simulation: fan them out, then merge into
   // the report serially in rate order so the document (and stdout) is
   // byte-identical for any job count.
@@ -111,7 +116,7 @@ std::vector<SweepPoint> sweep(routing::Policy policy, std::uint64_t seed,
         // Time series only at the saturating rate: 128 channels x 8 rates
         // would swamp the report without adding information.
         const bool sample = report && i + 1 == rates.size();
-        return run_point(policy, seed, rates[i], sample);
+        return run_point(policy, seed, rates[i], sample, liveness != nullptr);
       },
       jobs);
 
@@ -119,6 +124,7 @@ std::vector<SweepPoint> sweep(routing::Policy policy, std::uint64_t seed,
   for (std::size_t i = 0; i < rates.size(); ++i) {
     const double rate = rates[i];
     const workload::LoadResult& r = outputs[i].load;
+    if (liveness) liveness->merge(outputs[i].liveness);
     points.push_back(SweepPoint{rate, r.accepted_msgs_per_s_per_host,
                                 r.latency_mean_ns / 1000.0,
                                 r.latency_p99_ns / 1000.0});
@@ -156,6 +162,7 @@ double saturation_throughput(const std::vector<SweepPoint>& pts) {
 int main(int argc, char** argv) {
   const auto json_path = telemetry::json_flag(argc, argv);
   const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
+  const bool watchdog = health::watchdog_flag(argc, argv);
   const std::uint64_t seed = 2001;
   const std::vector<double> rates = {2.5e3, 5e3,   1e4,   1.5e4,
                                      2e4,   2.5e4, 3e4,   4e4};
@@ -200,8 +207,10 @@ int main(int argc, char** argv) {
   }
 
   telemetry::BenchReport* rp = json_path ? &report : nullptr;
-  auto ud = sweep(routing::Policy::kUpDown, seed, rates, rp, "ud", jobs);
-  auto itb = sweep(routing::Policy::kItb, seed, rates, rp, "itb", jobs);
+  health::LivenessVerdict liveness;
+  health::LivenessVerdict* lp = watchdog ? &liveness : nullptr;
+  auto ud = sweep(routing::Policy::kUpDown, seed, rates, rp, "ud", jobs, lp);
+  auto itb = sweep(routing::Policy::kItb, seed, rates, rp, "itb", jobs, lp);
 
   std::printf("\nuniform traffic, 512 B messages, accepted msgs/s/host and "
               "mean latency:\n\n");
@@ -223,10 +232,12 @@ int main(int argc, char** argv) {
               "ratio = %.2fx\n(paper claim from [2,3]: 2x-3x on the bare "
               "fabric; our figure includes full\nGM endpoint overheads, "
               "which compress the ratio)\n", f, matched);
+  if (watchdog) health::print_liveness_summary(liveness);
 
   if (json_path) {
     report.add_scalar("saturation_ratio", f);
     report.add_scalar("best_matched_load_ratio", matched);
+    if (watchdog) health::add_liveness_scalars(report, liveness);
     if (!report.write(*json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
       return 1;

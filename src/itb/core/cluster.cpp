@@ -69,6 +69,14 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     }
   }
 
+  if (config_.watchdog.enabled) {
+    std::vector<nic::Nic*> nic_ptrs;
+    nic_ptrs.reserve(nics_.size());
+    for (auto& nic : nics_) nic_ptrs.push_back(nic.get());
+    watchdog_ = std::make_unique<health::LivenessWatchdog>(
+        queue_, tracer_, *network_, std::move(nic_ptrs), config_.watchdog);
+  }
+
   wire_telemetry();
 }
 
@@ -82,6 +90,7 @@ void Cluster::wire_telemetry() {
   for (auto& ip : ip_stacks_) ip->register_metrics(reg);
   if (fault_injector_) fault_injector_->register_metrics(reg);
   if (recovery_) recovery_->register_metrics(reg);
+  if (watchdog_) watchdog_->register_metrics(reg);
 
   // Default sampler probes (see the telemetry() doc comment in the header).
   auto& s = telemetry_->sampler();
@@ -121,6 +130,13 @@ bool Cluster::routes_deadlock_free() const {
   routing::DependencyGraph graph(report_->discovered);
   graph.add_table(*table_, report_->discovered);
   return !graph.has_cycle();
+}
+
+bool Cluster::routes_buffer_wedge_free() const {
+  if (!table_ || !report_) return true;  // manual routes: caller's business
+  routing::DependencyGraph graph(report_->discovered);
+  graph.add_table_buffered(*table_, report_->discovered);
+  return !graph.cycle_through_buffer();
 }
 
 std::vector<gm::GmPort*> Cluster::ports() {

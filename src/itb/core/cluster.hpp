@@ -22,6 +22,7 @@
 #include "itb/fault/injector.hpp"
 #include "itb/fault/recovery.hpp"
 #include "itb/gm/port.hpp"
+#include "itb/health/watchdog.hpp"
 #include "itb/host/pci.hpp"
 #include "itb/ip/stack.hpp"
 #include "itb/mapper/mapper.hpp"
@@ -69,6 +70,10 @@ struct ClusterConfig {
   /// Tick period of the telemetry sampler (armed on demand; idle clusters
   /// pay nothing).
   sim::Duration telemetry_sample_period = 100 * sim::kUs;
+  /// Liveness watchdog (DESIGN.md §6f): progress sentinel + wait-graph
+  /// diagnosis + graceful degradation. Disabled by default; benches enable
+  /// it behind --watchdog.
+  health::WatchdogConfig watchdog;
 };
 
 class Cluster {
@@ -102,6 +107,9 @@ class Cluster {
   /// Remap-and-recover manager; nullptr unless auto_remap applies to a
   /// schedule with topology faults.
   fault::RecoveryManager* recovery() { return recovery_.get(); }
+  /// Liveness watchdog; nullptr unless config.watchdog.enabled.
+  health::LivenessWatchdog* health() { return watchdog_.get(); }
+  const health::LivenessWatchdog* health() const { return watchdog_.get(); }
   ip::IpStack& ip(std::uint16_t host) { return *ip_stacks_.at(host); }
   nic::Nic& nic(std::uint16_t host) { return *nics_.at(host); }
   const topo::Topology& topology() const { return config_.topology; }
@@ -117,6 +125,12 @@ class Cluster {
 
   /// Assert the installed route set is deadlock-free (CDG acyclic).
   bool routes_deadlock_free() const;
+
+  /// Stricter §8 prediction: the buffer-augmented dependency graph (ITB
+  /// routes threaded through finite in-transit pools) is acyclic too. A
+  /// false here with routes_deadlock_free() true means the route set can
+  /// wedge under load unless drop-on-full (or the watchdog) is enabled.
+  bool routes_buffer_wedge_free() const;
 
   std::vector<gm::GmPort*> ports();
 
@@ -134,6 +148,9 @@ class Cluster {
   std::vector<std::unique_ptr<ip::IpStack>> ip_stacks_;
   std::unique_ptr<fault::FaultInjector> fault_injector_;
   std::unique_ptr<fault::RecoveryManager> recovery_;
+  // Declared after network_/nics_ (it reads both) and destroyed before
+  // them; its destructor detaches the network's activity hook.
+  std::unique_ptr<health::LivenessWatchdog> watchdog_;
   // Last member: its registry sources and sampler probes point into the
   // components above, so it must be destroyed first.
   std::unique_ptr<telemetry::Telemetry> telemetry_;

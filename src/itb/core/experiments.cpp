@@ -18,14 +18,16 @@ void fill_common(Routes& r) {
   r[kHost2][kInTransit] = {{5, 4}};  // s1 -> s0 -> h1
 }
 
-std::unique_ptr<Cluster> make_testbed_cluster(Routes routes,
-                                              const nic::McpOptions& options,
-                                              const nic::LanaiTiming& lanai) {
+std::unique_ptr<Cluster> make_testbed_cluster(
+    Routes routes, const nic::McpOptions& options,
+    const nic::LanaiTiming& lanai,
+    const health::WatchdogConfig& watchdog = {}) {
   ClusterConfig cfg;
   cfg.topology = topo::make_paper_testbed();
   cfg.mcp_options = options;
   cfg.lanai_timing = lanai;
   cfg.manual_routes = std::move(routes);
+  cfg.watchdog = watchdog;
   return std::make_unique<Cluster>(std::move(cfg));
 }
 
@@ -44,7 +46,8 @@ std::unique_ptr<Cluster> make_fig7_cluster(bool modified_mcp) {
 
 std::unique_ptr<Cluster> make_fig8_cluster(bool itb_path,
                                            const nic::McpOptions& options,
-                                           const nic::LanaiTiming& lanai) {
+                                           const nic::LanaiTiming& lanai,
+                                           const health::WatchdogConfig& watchdog) {
   Routes r = empty_routes();
   fill_common(r);
   if (itb_path) {
@@ -52,7 +55,7 @@ std::unique_ptr<Cluster> make_fig8_cluster(bool itb_path,
   } else {
     r[kHost1][kHost2] = {{5, 7, 6, 6, 4}};    // loop in switch 2; 5 traversals
   }
-  return make_testbed_cluster(std::move(r), options, lanai);
+  return make_testbed_cluster(std::move(r), options, lanai, watchdog);
 }
 
 }  // namespace itb::core

@@ -43,9 +43,11 @@ std::unique_ptr<Cluster> make_fig7_cluster(bool modified_mcp);
 
 /// Fig. 8 cluster: ITB-capable MCP on every NIC; `itb_path` selects the
 /// UD+ITB forward route (true) or the 5-traversal UD route (false).
-/// `options` lets the ablation benches tweak the MCP.
+/// `options` lets the ablation benches tweak the MCP; `watchdog` arms the
+/// liveness watchdog (benches pass it through from --watchdog).
 std::unique_ptr<Cluster> make_fig8_cluster(
     bool itb_path, const nic::McpOptions& options = {},
-    const nic::LanaiTiming& lanai = {});
+    const nic::LanaiTiming& lanai = {},
+    const health::WatchdogConfig& watchdog = {});
 
 }  // namespace itb::core

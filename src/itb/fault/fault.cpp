@@ -75,6 +75,21 @@ FaultSchedule FaultSchedule::chaos(const topo::Topology& topo,
       out.nic_stall(*h, s, s + duration());
     }
   }
+  // Hotspot burst: a fixed-cadence stall train on one host. Drawn last so
+  // enabling it never perturbs the windows generated above.
+  if (spec.hotspot_bursts > 0 && topo.host_count() > 0) {
+    std::optional<std::uint16_t> target = spec.hotspot_host;
+    if (target && protected_host(*target))
+      throw std::invalid_argument("hotspot_host is protected");
+    if (!target) target = pick_host();
+    if (target) {
+      sim::Time s = spec.hotspot_start;
+      for (int i = 0; i < spec.hotspot_bursts; ++i) {
+        out.nic_stall(*target, s, s + spec.hotspot_stall);
+        s += spec.hotspot_stall + spec.hotspot_gap;
+      }
+    }
+  }
   return out;
 }
 

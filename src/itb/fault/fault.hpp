@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -114,6 +115,18 @@ class FaultSchedule {
     /// Hosts never targeted by host-down / NIC-stall windows (keep the
     /// endpoints a bench measures alive so exactly-once is decidable).
     std::vector<std::uint16_t> protected_hosts;
+
+    /// "Hotspot burst" preset (§8 wedge reproducer): a train of short
+    /// NIC-stall windows all aimed at ONE seeded host. While the hotspot
+    /// NIC is stalled, every flow routed through it parks under Stop&Go
+    /// backpressure; each release floods the 2-buffer pool at once — the
+    /// load pattern that wedges the stop-when-full MCP. The host is drawn
+    /// from the seed (protected-host-aware) unless `hotspot_host` pins it.
+    int hotspot_bursts = 0;                          // stall windows in the train
+    sim::Duration hotspot_stall = 200 * sim::kUs;    // each window's length
+    sim::Duration hotspot_gap = 100 * sim::kUs;      // open time between windows
+    sim::Time hotspot_start = 0;                     // train start
+    std::optional<std::uint16_t> hotspot_host;       // pin the target host
   };
 
   /// Deterministic random schedule over `topo` (same spec -> same windows).

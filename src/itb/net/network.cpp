@@ -27,6 +27,62 @@ struct Network::Worm {
   sim::EventId src_done_event;  // source on_tx_complete
 };
 
+std::vector<Network::WormWait> Network::wait_snapshot() const {
+  std::vector<WormWait> snap;
+  for (const auto& wp : worms_) {
+    const Worm* w = wp.get();
+    if (w->done) continue;
+    WormWait s;
+    s.handle = w->handle;
+    s.src_host = w->src_host;
+    s.injected_at = w->injected_at;
+    s.held = w->held;
+    if (w->waiting_on) {
+      s.blocked = true;
+      s.waiting_on = *w->waiting_on;
+      s.waiting_channel_busy = channels_[channel_index(*w->waiting_on)].busy;
+      const auto target = topo_.channel_target(*w->waiting_on);
+      if (target.node.kind == topo::NodeKind::kHost) {
+        const std::uint16_t h = target.node.index;
+        const bool fault_gate =
+            fault_hook_ && !fault_hook_->host_accepting(h);
+        if (!rx_ready_[h] || fault_gate) {
+          s.gate_closed = true;
+          s.gate_fault = fault_gate;
+          s.gate_host = h;
+        }
+      }
+    }
+    snap.push_back(std::move(s));
+  }
+  return snap;
+}
+
+std::optional<TxHandle> Network::oldest_blocked() const {
+  const Worm* best = nullptr;
+  for (const auto& wp : worms_) {
+    const Worm* w = wp.get();
+    if (w->done || !w->waiting_on) continue;
+    if (!best || w->injected_at < best->injected_at ||
+        (w->injected_at == best->injected_at && w->handle < best->handle))
+      best = w;
+  }
+  if (!best) return std::nullopt;
+  return best->handle;
+}
+
+bool Network::force_eject(TxHandle h) {
+  for (const auto& wp : worms_) {
+    Worm* w = wp.get();
+    if (w->handle != h || w->done) continue;
+    const topo::Channel at = w->waiting_on.value_or(
+        w->held.empty() ? topo::Channel{} : w->held.back());
+    kill_worm(w, at, "forced ejection", /*fault=*/false);
+    return true;
+  }
+  return false;
+}
+
 std::optional<Network::RxPeek> Network::peek_rx(TxHandle h) const {
   for (const auto& w : worms_) {
     if (w->handle == h && !w->done && w->tail_time >= 0)
@@ -82,6 +138,7 @@ TxHandle Network::inject(std::uint16_t host, packet::Bytes bytes,
   worms_.push_back(std::move(worm));
   ++live_worms_;
   ++stats_.injected;
+  if (activity_hook_) activity_hook_();
 
   auto entry = channel_out(topo::host_id(host), 0);
   if (!entry) throw std::logic_error("host has no uplink");
@@ -329,7 +386,8 @@ void Network::drop(Worm* w, const char* why) {
   finish_worm(w);
 }
 
-void Network::kill_worm(Worm* w, topo::Channel at, const char* why) {
+void Network::kill_worm(Worm* w, topo::Channel at, const char* why,
+                        bool fault) {
   if (w->done) return;
   queue_.cancel(w->pending);
   queue_.cancel(w->early_event);
@@ -339,9 +397,11 @@ void Network::kill_worm(Worm* w, topo::Channel at, const char* why) {
     std::erase(st.waiters, w);
     w->waiting_on.reset();
   }
-  ++stats_.faults_injected;
   ++stats_.lost;
-  if (fault_hook_) fault_hook_->note_kill(at);
+  if (fault) {
+    ++stats_.faults_injected;
+    if (fault_hook_) fault_hook_->note_kill(at);
+  }
   tracer_.emit(queue_.now(), sim::TraceCategory::kFault, [&] {
     return "tx" + std::to_string(w->handle) + " killed at link " +
            std::to_string(at.link) + ": " + why;

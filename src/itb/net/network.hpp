@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -166,6 +167,40 @@ class Network {
   /// Number of worms currently in flight (for drain loops in tests).
   std::size_t in_flight() const { return live_worms_; }
 
+  /// One in-flight worm's wait state, as seen by the liveness diagnoser
+  /// (health::WaitGraphDiagnoser): which channels it holds and what it is
+  /// parked on. `blocked` worms sit in a channel's waiter queue; the gate
+  /// fields describe why a free channel into a host still was not granted.
+  struct WormWait {
+    TxHandle handle = 0;
+    std::uint16_t src_host = 0;
+    sim::Time injected_at = 0;
+    std::vector<topo::Channel> held;
+    bool blocked = false;
+    topo::Channel waiting_on{};       // valid iff blocked
+    bool waiting_channel_busy = false;  // another worm owns waiting_on
+    bool gate_closed = false;  // waiting_on enters a host whose gate is shut
+    bool gate_fault = false;   // ... shut by the fault hook (NIC stall)
+    std::uint16_t gate_host = 0;  // valid iff gate_closed
+  };
+  std::vector<WormWait> wait_snapshot() const;
+
+  /// Handle of the blocked worm with the earliest injection time (FIFO tie
+  /// break by handle); nullopt when nothing is blocked.
+  std::optional<TxHandle> oldest_blocked() const;
+
+  /// Destroy an in-flight worm to break a wedge (watchdog escalation). The
+  /// packet counts as `lost` but NOT as a fault: the loss belongs to the
+  /// health ledger (health.forced_ejections), not the fault injector's.
+  /// Returns false if the handle is unknown or already finished.
+  bool force_eject(TxHandle h);
+
+  /// Invoked on every inject(); lets a parked liveness watchdog re-arm
+  /// without polling an idle network. Clear with nullptr.
+  void set_activity_hook(std::function<void()> hook) {
+    activity_hook_ = std::move(hook);
+  }
+
   /// Publish the NetworkStats counters and per-channel busy time under
   /// component "net" (callback-backed: stats() stays the source of truth).
   void register_metrics(telemetry::MetricRegistry& registry) const;
@@ -197,6 +232,7 @@ class Network {
   sim::Tracer& tracer_;
   NetworkStats stats_;
   FaultHook* fault_hook_ = nullptr;
+  std::function<void()> activity_hook_;
 
   std::vector<HostHooks*> hooks_;     // by host index
   std::vector<bool> rx_ready_;        // by host index
@@ -226,9 +262,12 @@ class Network {
   void head_at_node(Worm* w, topo::Endpoint arrival);
   void complete_at_host(Worm* w, std::uint16_t host, sim::Time head_arrival);
   void drop(Worm* w, const char* why);
-  /// Destroy an in-flight worm at `at` (fault kill): cancels its scheduled
-  /// events, releases its channels and fires the abort-side hooks.
-  void kill_worm(Worm* w, topo::Channel at, const char* why);
+  /// Destroy an in-flight worm at `at`: cancels its scheduled events,
+  /// releases its channels and fires the abort-side hooks. `fault` charges
+  /// the kill to the fault ledger (faults_injected + note_kill); a forced
+  /// ejection passes false and only counts as lost.
+  void kill_worm(Worm* w, topo::Channel at, const char* why,
+                 bool fault = true);
   void finish_worm(Worm* w);
 };
 

@@ -318,6 +318,16 @@ void Nic::free_recv_buffer() {
   network_.set_host_rx_ready(host_, true);
 }
 
+bool Nic::enable_drop_when_full() {
+  if (options_.drop_when_full) return false;
+  options_.drop_when_full = true;
+  // Reopen the gate: a parked worm is granted the channel into this host
+  // and its arrival, finding no free buffer, is doomed in on_rx_head —
+  // exactly the circular-pool discard the paper's §4 relies on.
+  network_.set_host_rx_ready(host_, true);
+  return true;
+}
+
 // ------------------------------------------------------------------ send --
 
 void Nic::on_tx_started(sim::Time, net::TxHandle) {}

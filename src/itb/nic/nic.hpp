@@ -139,6 +139,17 @@ class Nic final : public net::HostHooks {
   /// one yields a busy fraction.
   sim::Duration send_dma_busy_ns() const;
   sim::Duration rx_busy_ns() const;
+  /// Every receive buffer reserved — the condition that closes the host
+  /// gate in backpressure mode. The liveness diagnoser reads this to place
+  /// buffer nodes in the wait-for graph.
+  bool rx_full() const { return rx_reserved_ >= options_.recv_buffers; }
+
+  /// Watchdog escalation (§4 cure applied at runtime): flip this NIC from
+  /// backpressure to the drop-on-full circular pool and reopen the host
+  /// gate, so wedged upstream worms drain — arrivals that find no free
+  /// buffer are accepted and discarded, and GM retransmission recovers
+  /// them. Returns true when the mode actually changed.
+  bool enable_drop_when_full();
 
   /// Publish the NicStats counters plus MCP busy time under component
   /// "nic" with a host label (callback-backed).

@@ -6,15 +6,21 @@
 namespace itb::routing {
 
 DependencyGraph::DependencyGraph(const topo::Topology& topo)
-    : channels_(topo.link_count() * 2), out_(channels_) {}
+    : channels_(topo.link_count() * 2),
+      hosts_(topo.host_count()),
+      out_(channels_ + hosts_) {}
 
-void DependencyGraph::add_dependency(topo::Channel from, topo::Channel to) {
-  const auto f = channel_index(from);
-  const auto t = channel_index(to);
-  if (f >= channels_ || t >= channels_)
-    throw std::out_of_range("channel out of range");
+void DependencyGraph::add_edge(Node from, Node to) {
+  const auto f = index(from);
+  const auto t = index(to);
+  if (f >= out_.size() || t >= out_.size())
+    throw std::out_of_range("dependency node out of range");
   if (std::find(out_[f].begin(), out_[f].end(), t) == out_[f].end())
     out_[f].push_back(t);
+}
+
+void DependencyGraph::add_dependency(topo::Channel from, topo::Channel to) {
+  add_edge(Node::of_channel(from), Node::of_channel(to));
 }
 
 namespace {
@@ -31,8 +37,9 @@ topo::Channel host_channel(const topo::Topology& topo, std::uint16_t host,
 
 }  // namespace
 
-void DependencyGraph::add_route(const HostPath& path,
-                                const topo::Topology& topo) {
+void DependencyGraph::add_route_impl(const HostPath& path,
+                                     const topo::Topology& topo,
+                                     bool buffered) {
   // Split the flat trunk-channel list at segment boundaries: segment i has
   // segments[i].size() - 1 trunk hops (its final route byte exits to a
   // host: the next in-transit host or the destination).
@@ -52,12 +59,33 @@ void DependencyGraph::add_route(const HostPath& path,
 
     for (std::size_t i = 0; i + 1 < chain.size(); ++i)
       add_dependency(chain[i], chain[i + 1]);
-    // No edge crosses the ejection: the packet is fully buffered in the
-    // in-transit NIC's SRAM, releasing every channel of this chain before
-    // the next chain's channels are requested.
+    if (buffered && seg > 0) {
+      // The previous segment's channels are released only once this
+      // segment's re-injection drains the in-transit buffer: thread the
+      // chain through the buffer node instead of restarting it.
+      add_edge(Node::of_buffer(entry_host), Node::of_channel(chain.front()));
+    }
+    if (buffered && seg + 1 < path.segments.size()) {
+      // Delivery into the in-transit host consumes a finite pool buffer.
+      add_edge(Node::of_channel(chain.back()), Node::of_buffer(exit_host));
+    }
+    // In the classical graph no edge crosses the ejection: the packet is
+    // fully buffered in the in-transit NIC's SRAM, releasing every channel
+    // of this chain before the next chain's channels are requested. The
+    // buffered variant keeps the chain alive through the buffer node.
   }
   if (trunk_cursor != path.trunk_channels.size())
     throw std::logic_error("trunk channel count inconsistent with segments");
+}
+
+void DependencyGraph::add_route(const HostPath& path,
+                                const topo::Topology& topo) {
+  add_route_impl(path, topo, /*buffered=*/false);
+}
+
+void DependencyGraph::add_route_buffered(const HostPath& path,
+                                         const topo::Topology& topo) {
+  add_route_impl(path, topo, /*buffered=*/true);
 }
 
 void DependencyGraph::add_table(const RouteTable& table,
@@ -69,22 +97,59 @@ void DependencyGraph::add_table(const RouteTable& table,
     }
 }
 
+void DependencyGraph::add_table_buffered(const RouteTable& table,
+                                         const topo::Topology& topo) {
+  for (std::uint16_t s = 0; s < table.host_count(); ++s)
+    for (std::uint16_t d = 0; d < table.host_count(); ++d) {
+      if (s == d) continue;
+      add_route_buffered(table.route(s, d), topo);
+    }
+}
+
 std::size_t DependencyGraph::edge_count() const {
   std::size_t n = 0;
   for (const auto& adj : out_) n += adj.size();
   return n;
 }
 
-bool DependencyGraph::has_cycle() const { return !find_cycle().empty(); }
+bool DependencyGraph::has_cycle() const { return !find_cycle_nodes().empty(); }
 
 std::vector<topo::Channel> DependencyGraph::find_cycle() const {
+  std::vector<topo::Channel> cycle;
+  for (const Node& n : find_cycle_nodes())
+    if (!n.is_buffer) cycle.push_back(n.channel);
+  return cycle;
+}
+
+bool DependencyGraph::cycle_through_buffer() const {
+  const auto cycle = find_cycle_nodes();
+  return std::any_of(cycle.begin(), cycle.end(),
+                     [](const Node& n) { return n.is_buffer; });
+}
+
+std::string DependencyGraph::describe(const std::vector<Node>& nodes) {
+  std::string s;
+  for (const Node& n : nodes) {
+    if (!s.empty()) s += " -> ";
+    if (n.is_buffer) {
+      s += "buf(h" + std::to_string(n.host) + ")";
+    } else {
+      s += "ch(" + std::to_string(n.channel.link) +
+           (n.channel.forward ? ">)" : "<)");
+    }
+  }
+  return s;
+}
+
+std::vector<DependencyGraph::Node> DependencyGraph::find_cycle_nodes() const {
   // Iterative three-colour DFS that records the tree path for cycle
   // extraction.
   enum : std::uint8_t { kWhite, kGrey, kBlack };
-  std::vector<std::uint8_t> colour(channels_, kWhite);
-  std::vector<std::uint32_t> parent(channels_, UINT32_MAX);
+  const std::size_t n = out_.size();
+  std::vector<std::uint8_t> colour(n, kWhite);
+  std::vector<std::uint32_t> parent(n, UINT32_MAX);
 
-  for (std::uint32_t root = 0; root < channels_; ++root) {
+  for (std::uint32_t root = 0; root < n; ++root) {
     if (colour[root] != kWhite) continue;
     // Stack of (node, next-edge-index).
     std::vector<std::pair<std::uint32_t, std::size_t>> stack;
@@ -100,11 +165,11 @@ std::vector<topo::Channel> DependencyGraph::find_cycle() const {
           stack.emplace_back(next, 0);
         } else if (colour[next] == kGrey) {
           // Found a back edge node -> next; unwind the grey path.
-          std::vector<topo::Channel> cycle;
+          std::vector<Node> cycle;
           std::uint32_t walk = node;
-          cycle.push_back(channel_of(next));
+          cycle.push_back(node_of(next));
           while (walk != next && walk != UINT32_MAX) {
-            cycle.push_back(channel_of(walk));
+            cycle.push_back(node_of(walk));
             walk = parent[walk];
           }
           std::reverse(cycle.begin(), cycle.end());

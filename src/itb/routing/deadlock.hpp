@@ -7,9 +7,21 @@
 // wormhole: the packet is fully buffered at the in-transit host, so no
 // dependency crosses an ejection point — exactly how the mechanism breaks
 // the down->up cycles (§1).
+//
+// That classical result silently assumes the ejection buffer is always
+// available. With a finite in-transit pool under backpressure (§4's
+// stop-when-full variant) the buffer itself is a contended resource: a full
+// NIC closes the channel into its host, and the buffers only free when the
+// host's re-injection drains. The *buffer-augmented* graph models this by
+// adding one node per host buffer pool and threading ITB routes through it:
+//     ... -> IN(itb_host) -> buf(itb_host) -> OUT(itb_host) -> ...
+// A cycle through a buffer node is exactly the §8 buffer-wait wedge the
+// plain CDG cannot see. The same node vocabulary serves the runtime
+// wait-for graph built by health::WaitGraphDiagnoser from live worm state.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "itb/routing/paths.hpp"
@@ -17,9 +29,28 @@
 
 namespace itb::routing {
 
-/// CDG over the directed channels of a topology.
+/// CDG over the directed channels of a topology, optionally augmented with
+/// one buffer node per host (the NIC's in-transit receive pool).
 class DependencyGraph {
  public:
+  /// Graph node: a directed channel, or a host's buffer pool.
+  struct Node {
+    bool is_buffer = false;
+    topo::Channel channel{};  // valid when !is_buffer
+    std::uint16_t host = 0;   // valid when is_buffer
+
+    static Node of_channel(topo::Channel c) { return Node{false, c, 0}; }
+    static Node of_buffer(std::uint16_t h) {
+      return Node{true, topo::Channel{}, h};
+    }
+    bool operator==(const Node& o) const {
+      return is_buffer == o.is_buffer &&
+             (is_buffer ? host == o.host
+                        : (channel.link == o.channel.link &&
+                           channel.forward == o.channel.forward));
+    }
+  };
+
   explicit DependencyGraph(const topo::Topology& topo);
 
   /// Add the dependencies contributed by one route. Channel chains restart
@@ -30,26 +61,58 @@ class DependencyGraph {
   /// Add every route of a table.
   void add_table(const RouteTable& table, const topo::Topology& topo);
 
-  /// Explicit edge for tests.
+  /// Buffer-augmented variants: instead of restarting the chain at an ITB
+  /// ejection, thread it through the in-transit host's buffer node. Predicts
+  /// the §8 buffer-wait wedge of the finite stop-when-full pool; routes
+  /// accepted by add_table but rejected here need §4 drop-on-full (or a
+  /// runtime watchdog) to be live under load.
+  void add_route_buffered(const HostPath& path, const topo::Topology& topo);
+  void add_table_buffered(const RouteTable& table, const topo::Topology& topo);
+
+  /// Explicit edges for tests and for the runtime wait-for graph.
   void add_dependency(topo::Channel from, topo::Channel to);
+  void add_edge(Node from, Node to);
 
   bool has_cycle() const;
 
   /// One cycle as a channel sequence (empty when acyclic); for diagnostics.
+  /// Buffer nodes are elided — use find_cycle_nodes() for the full cycle.
   std::vector<topo::Channel> find_cycle() const;
+
+  /// One cycle including buffer nodes (empty when acyclic).
+  std::vector<Node> find_cycle_nodes() const;
+
+  /// True when the graph has a cycle that passes through at least one
+  /// buffer node — the §8 wedge signature.
+  bool cycle_through_buffer() const;
+
+  /// "ch(3>) -> buf(h1) -> ch(5<)" rendering of a node sequence.
+  static std::string describe(const std::vector<Node>& nodes);
 
   std::size_t edge_count() const;
 
  private:
-  std::size_t channels_;
-  std::vector<std::vector<std::uint32_t>> out_;  // adjacency by channel index
+  std::size_t channels_;  // directed channel node count (2 * links)
+  std::size_t hosts_;     // buffer node count
+  std::vector<std::vector<std::uint32_t>> out_;  // adjacency by node index
 
+  // Node indexing: channels occupy [0, channels_), buffer nodes follow at
+  // channels_ + host.
   static std::uint32_t channel_index(topo::Channel c) {
     return 2 * c.link + (c.forward ? 0 : 1);
   }
-  static topo::Channel channel_of(std::uint32_t idx) {
-    return topo::Channel{idx / 2, (idx % 2) == 0};
+  std::uint32_t index(Node n) const {
+    return n.is_buffer ? static_cast<std::uint32_t>(channels_ + n.host)
+                       : channel_index(n.channel);
   }
+  Node node_of(std::uint32_t idx) const {
+    if (idx >= channels_)
+      return Node::of_buffer(static_cast<std::uint16_t>(idx - channels_));
+    return Node::of_channel(topo::Channel{idx / 2, (idx % 2) == 0});
+  }
+
+  void add_route_impl(const HostPath& path, const topo::Topology& topo,
+                      bool buffered);
 };
 
 }  // namespace itb::routing

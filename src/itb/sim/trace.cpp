@@ -14,6 +14,7 @@ const char* to_string(TraceCategory c) {
     case TraceCategory::kWorkload: return "workload";
     case TraceCategory::kTelemetry: return "telemetry";
     case TraceCategory::kFault: return "fault";
+    case TraceCategory::kHealth: return "health";
   }
   return "?";
 }

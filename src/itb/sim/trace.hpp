@@ -23,6 +23,7 @@ enum class TraceCategory {
   kWorkload,
   kTelemetry,  // sampler ticks and registry events
   kFault,      // fault windows, kills, remaps
+  kHealth,     // liveness watchdog: stalls, diagnoses, escalations
 };
 
 const char* to_string(TraceCategory c);
