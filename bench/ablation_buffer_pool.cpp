@@ -22,6 +22,7 @@
 
 #include "itb/core/cluster.hpp"
 #include "itb/core/parallel.hpp"
+#include "itb/flight/bench_support.hpp"
 #include "itb/health/watchdog.hpp"
 #include "itb/telemetry/export.hpp"
 #include "itb/workload/load.hpp"
@@ -43,13 +44,14 @@ struct Outcome {
   std::vector<telemetry::MetricSample> counters;
   std::vector<telemetry::Sampler::Series> series;
   health::LivenessVerdict liveness;  // --watchdog only
+  flight::Recording recording;       // --flight only
 };
 
 /// Star topology stressing one in-transit host: four sources on switch 0,
 /// four sinks on switch 1; every route is forced through the ITB host h8
 /// on switch 0, so its NIC forwards every packet.
 Outcome run(int recv_buffers, bool drop_when_full, bool sample,
-            bool watchdog) {
+            bool watchdog, const flight::RecorderConfig& frc) {
   topo::Topology topo;
   topo.add_switch(16);
   topo.add_switch(16);
@@ -78,6 +80,7 @@ Outcome run(int recv_buffers, bool drop_when_full, bool sample,
   }
   cfg.manual_routes = std::move(r);
   cfg.watchdog.enabled = watchdog;
+  cfg.flight = frc;
   core::Cluster cluster(std::move(cfg));
 
   Outcome out;
@@ -124,6 +127,7 @@ Outcome run(int recv_buffers, bool drop_when_full, bool sample,
     out.series = cluster.telemetry().sampler().series();
   }
   if (watchdog) out.liveness = cluster.health()->verdict();
+  if (cluster.flight()) out.recording = cluster.flight()->snapshot();
   return out;
 }
 
@@ -133,6 +137,7 @@ int main(int argc, char** argv) {
   const auto json_path = telemetry::json_flag(argc, argv);
   const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
   const bool watchdog = health::watchdog_flag(argc, argv);
+  const auto fcli = flight::flight_flags(argc, argv);
   telemetry::BenchReport report("ablation_buffer_pool");
   report.set_param("messages", 4 * 30);
   report.set_param("message_bytes", 2048);
@@ -157,15 +162,17 @@ int main(int argc, char** argv) {
       configs.size(),
       [&](std::size_t i) {
         return run(configs[i].buffers, configs[i].drop, rp != nullptr,
-                   watchdog);
+                   watchdog, fcli.recorder());
       },
       jobs);
 
+  flight::BenchFlight bflight(fcli);
   health::LivenessVerdict liveness;
   for (std::size_t i = 0; i < configs.size(); ++i) {
     const auto& [drop, buffers] = configs[i];
     Outcome& o = outcomes[i];
     liveness.merge(o.liveness);
+    if (fcli.enabled) bflight.add(std::move(o.recording));
     const std::string mode = drop ? "drop" : "backpressure";
     const std::string tag = mode + "_b" + std::to_string(buffers);
     std::printf("%8d %12s | %12.1f %8llu %10llu %10llu\n", buffers,
@@ -195,6 +202,7 @@ int main(int argc, char** argv) {
               "pools eliminate drops (the paper notes 8 MB of NIC\nSRAM "
               "makes overflow 'very unusual').\n");
   if (watchdog) health::print_liveness_summary(liveness);
+  if (!bflight.finish("ablation_buffer_pool", rp)) return 1;
 
   if (json_path) {
     if (watchdog) health::add_liveness_scalars(report, liveness);

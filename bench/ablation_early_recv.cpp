@@ -19,6 +19,7 @@
 
 #include "itb/core/experiments.hpp"
 #include "itb/core/parallel.hpp"
+#include "itb/flight/bench_support.hpp"
 #include "itb/health/watchdog.hpp"
 #include "itb/telemetry/export.hpp"
 #include "itb/workload/pingpong.hpp"
@@ -36,14 +37,19 @@ struct OverheadOutput {
   std::vector<telemetry::MetricSample> counters;  // want_series pairs only
   std::vector<telemetry::Sampler::Series> series;
   health::LivenessVerdict liveness;  // --watchdog only, both clusters merged
+  // --flight only. Kept separate: handles are only unique per cluster, so
+  // the timeline must stitch each recording on its own.
+  flight::Recording ud_recording;
+  flight::Recording itb_recording;
 };
 
 OverheadOutput itb_overhead(const nic::McpOptions& options, std::size_t size,
-                            bool sample, bool want_series, bool watchdog) {
+                            bool sample, bool want_series, bool watchdog,
+                            const flight::RecorderConfig& frc) {
   health::WatchdogConfig wc;
   wc.enabled = watchdog;
-  auto ud = core::make_fig8_cluster(false, options, {}, wc);
-  auto itb = core::make_fig8_cluster(true, options, {}, wc);
+  auto ud = core::make_fig8_cluster(false, options, {}, wc, frc);
+  auto itb = core::make_fig8_cluster(true, options, {}, wc, frc);
   if (sample) itb->telemetry().start_sampling();
   auto a = workload::run_pingpong(ud->queue(), ud->port(core::kHost1),
                                   ud->port(core::kHost2), size, 20);
@@ -71,6 +77,10 @@ OverheadOutput itb_overhead(const nic::McpOptions& options, std::size_t size,
     out.liveness = ud->health()->verdict();
     out.liveness.merge(itb->health()->verdict());
   }
+  if (ud->flight()) {
+    out.ud_recording = ud->flight()->snapshot();
+    out.itb_recording = itb->flight()->snapshot();
+  }
   return out;
 }
 
@@ -80,6 +90,7 @@ int main(int argc, char** argv) {
   const auto json_path = telemetry::json_flag(argc, argv);
   const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
   const bool watchdog = health::watchdog_flag(argc, argv);
+  const auto fcli = flight::flight_flags(argc, argv);
   const std::size_t sizes[] = {16, 256, 1024, 4000};
 
   telemetry::BenchReport report("ablation_early_recv");
@@ -115,9 +126,18 @@ int main(int argc, char** argv) {
         const std::size_t size = sizes[i / std::size(variants)];
         const Variant& v = variants[i % std::size(variants)];
         return itb_overhead(v.options, size, rp != nullptr,
-                            std::string_view(v.run) == "paper", watchdog);
+                            std::string_view(v.run) == "paper", watchdog,
+                            fcli.recorder());
       },
       jobs);
+
+  flight::BenchFlight bflight(fcli);
+  if (fcli.enabled) {
+    for (auto& o : outputs) {
+      bflight.add(std::move(o.ud_recording));
+      bflight.add(std::move(o.itb_recording));
+    }
+  }
 
   health::LivenessVerdict liveness;
   for (std::size_t si = 0; si < std::size(sizes); ++si) {
@@ -155,6 +175,7 @@ int main(int argc, char** argv) {
               "one dispatch cycle (%d LANai cycles).\n",
               nic::LanaiTiming{}.dispatch);
   if (watchdog) health::print_liveness_summary(liveness);
+  if (!bflight.finish("ablation_early_recv", rp)) return 1;
 
   if (json_path) {
     if (watchdog) health::add_liveness_scalars(report, liveness);

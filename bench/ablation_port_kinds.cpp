@@ -17,6 +17,7 @@
 
 #include "itb/core/cluster.hpp"
 #include "itb/core/parallel.hpp"
+#include "itb/flight/bench_support.hpp"
 #include "itb/health/watchdog.hpp"
 #include "itb/telemetry/export.hpp"
 #include "itb/workload/pingpong.hpp"
@@ -32,11 +33,13 @@ struct MeasureOutput {
   std::vector<telemetry::MetricSample> counters;
   std::vector<telemetry::Sampler::Series> series;
   health::LivenessVerdict liveness;  // --watchdog only
+  flight::Recording recording;       // --flight only
 };
 
 MeasureOutput measure(topo::PortKind src_kind, topo::PortKind dst_kind,
                       topo::PortKind trunk_kind, std::size_t size,
-                      bool sample, bool watchdog) {
+                      bool sample, bool watchdog,
+                      const flight::RecorderConfig& frc) {
   topo::Topology topo;
   topo.add_switch(8);
   topo.add_switch(8);
@@ -49,6 +52,7 @@ MeasureOutput measure(topo::PortKind src_kind, topo::PortKind dst_kind,
   core::ClusterConfig cfg;
   cfg.topology = std::move(topo);
   cfg.watchdog.enabled = watchdog;
+  cfg.flight = frc;
   core::Cluster cluster(std::move(cfg));
   workload::AllsizeConfig acfg;
   acfg.iterations = 20;
@@ -67,6 +71,7 @@ MeasureOutput measure(topo::PortKind src_kind, topo::PortKind dst_kind,
     out.series = cluster.telemetry().sampler().series();
   }
   if (watchdog) out.liveness = cluster.health()->verdict();
+  if (cluster.flight()) out.recording = cluster.flight()->snapshot();
   return out;
 }
 
@@ -79,6 +84,7 @@ int main(int argc, char** argv) {
   const auto json_path = telemetry::json_flag(argc, argv);
   const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
   const bool watchdog = health::watchdog_flag(argc, argv);
+  const auto fcli = flight::flight_flags(argc, argv);
   const std::size_t size = 256;
 
   telemetry::BenchReport report("ablation_port_kinds");
@@ -105,15 +111,18 @@ int main(int argc, char** argv) {
       combos.size(),
       [&](std::size_t i) {
         const Combo& c = combos[i];
-        return measure(c.src, c.dst, c.trunk, size, rp != nullptr, watchdog);
+        return measure(c.src, c.dst, c.trunk, size, rp != nullptr, watchdog,
+                       fcli.recorder());
       },
       jobs);
 
+  flight::BenchFlight bflight(fcli);
   health::LivenessVerdict liveness;
   for (std::size_t i = 0; i < combos.size(); ++i) {
     const auto& [src, trunk, dst] = combos[i];
     MeasureOutput& o = outputs[i];
     liveness.merge(o.liveness);
+    if (fcli.enabled) bflight.add(std::move(o.recording));
     const std::string tag =
         std::string(name(src)) + "_" + name(trunk) + "_" + name(dst);
     std::printf("%8s %8s %8s %14.3f\n", name(src), name(trunk), name(dst),
@@ -137,6 +146,7 @@ int main(int argc, char** argv) {
               "crossed by two fall-throughs and pay twice.\n",
               static_cast<long long>(net::NetTiming{}.lan_port_penalty_ns));
   if (watchdog) health::print_liveness_summary(liveness);
+  if (!bflight.finish("ablation_port_kinds", rp)) return 1;
 
   if (json_path) {
     if (watchdog) health::add_liveness_scalars(report, liveness);

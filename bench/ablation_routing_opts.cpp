@@ -22,6 +22,7 @@
 
 #include "itb/core/cluster.hpp"
 #include "itb/core/parallel.hpp"
+#include "itb/flight/bench_support.hpp"
 #include "itb/health/watchdog.hpp"
 #include "itb/routing/table.hpp"
 #include "itb/sim/rng.hpp"
@@ -76,10 +77,12 @@ topo::Topology make_topology(std::uint64_t seed) {
 /// liveness verdict when the watchdog is armed.
 health::LivenessVerdict validation_run(std::uint64_t seed,
                                        telemetry::BenchReport& report,
-                                       bool watchdog) {
+                                       bool watchdog,
+                                       flight::BenchFlight* bf) {
   core::ClusterConfig cfg;
   cfg.topology = make_topology(seed);
   cfg.policy = routing::Policy::kItb;
+  if (bf) cfg.flight = bf->cli().recorder();
   cfg.itb_selection = routing::ItbHostSelection::kSpread;
   cfg.mcp_options.recv_buffers = 64;
   cfg.mcp_options.drop_when_full = true;
@@ -105,6 +108,7 @@ health::LivenessVerdict validation_run(std::uint64_t seed,
   report.add_histogram("message_latency", "best_spread", r.latency_hist);
   report.add_counters("best_spread", cluster.telemetry().registry());
   report.add_series("best_spread", cluster.telemetry().sampler());
+  if (bf && cluster.flight()) bf->add(cluster.flight()->snapshot());
   return watchdog ? cluster.health()->verdict() : health::LivenessVerdict{};
 }
 
@@ -114,6 +118,7 @@ int main(int argc, char** argv) {
   const auto json_path = telemetry::json_flag(argc, argv);
   const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
   const bool watchdog = health::watchdog_flag(argc, argv);
+  const auto fcli = flight::flight_flags(argc, argv);
   telemetry::BenchReport report("ablation_routing_opts");
 
   std::printf("Ablation: root selection and in-transit host selection "
@@ -184,15 +189,20 @@ int main(int argc, char** argv) {
               "duty without touching hops.\n");
 
   // The sweep above is static route-table analysis — only the validation
-  // run simulates traffic, so --watchdog attaches there (forcing the run
-  // even without --json so a liveness verdict always exists).
-  if (json_path || watchdog) {
-    const auto liveness = validation_run(11, report, watchdog);
+  // run simulates traffic, so --watchdog and --flight attach there
+  // (forcing the run even without --json so a verdict/recording always
+  // exists).
+  flight::BenchFlight bflight(fcli);
+  if (json_path || watchdog || fcli.enabled) {
+    const auto liveness =
+        validation_run(11, report, watchdog, fcli.enabled ? &bflight : nullptr);
     if (watchdog) {
       health::print_liveness_summary(liveness);
       health::add_liveness_scalars(report, liveness);
     }
   }
+  if (!bflight.finish("ablation_routing_opts", json_path ? &report : nullptr))
+    return 1;
   if (json_path) {
     if (!report.write(*json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path->c_str());

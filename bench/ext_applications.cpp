@@ -20,6 +20,7 @@
 
 #include "itb/core/cluster.hpp"
 #include "itb/core/parallel.hpp"
+#include "itb/flight/bench_support.hpp"
 #include "itb/health/watchdog.hpp"
 #include "itb/telemetry/export.hpp"
 #include "itb/workload/apps.hpp"
@@ -29,6 +30,7 @@ namespace {
 using namespace itb;
 
 bool g_watchdog = false;
+flight::RecorderConfig g_flight;
 
 std::unique_ptr<core::Cluster> make_cluster(routing::Policy policy,
                                             std::uint64_t seed) {
@@ -48,6 +50,7 @@ std::unique_ptr<core::Cluster> make_cluster(routing::Policy policy,
   cfg.gm_config.retransmit_timeout = 50 * sim::kMs;  // patient: ack RTT is large under bursts
   cfg.telemetry_sample_period = 500 * sim::kUs;
   cfg.watchdog.enabled = g_watchdog;
+  cfg.flight = g_flight;
   return std::make_unique<core::Cluster>(std::move(cfg));
 }
 
@@ -60,6 +63,7 @@ struct KernelOutput {
   std::vector<telemetry::MetricSample> counters;
   std::vector<telemetry::Sampler::Series> series;
   health::LivenessVerdict liveness;  // --watchdog only
+  flight::Recording recording;       // --flight only
 };
 
 KernelOutput run_kernel(
@@ -75,6 +79,7 @@ KernelOutput run_kernel(
     out.series = cluster->telemetry().sampler().series();
   }
   if (g_watchdog) out.liveness = cluster->health()->verdict();
+  if (cluster->flight()) out.recording = cluster->flight()->snapshot();
   return out;
 }
 
@@ -106,6 +111,8 @@ int main(int argc, char** argv) {
   const auto json_path = telemetry::json_flag(argc, argv);
   const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
   g_watchdog = health::watchdog_flag(argc, argv);
+  const auto fcli = flight::flight_flags(argc, argv);
+  g_flight = fcli.recorder();
   telemetry::BenchReport bench_report("ext_applications");
   if (json_path) g_report = &bench_report;
   const std::uint64_t seed = 1977;
@@ -150,12 +157,17 @@ int main(int argc, char** argv) {
       },
       jobs);
 
+  flight::BenchFlight bflight(fcli);
   health::LivenessVerdict liveness;
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     KernelOutput& ud = outputs[2 * i];
     KernelOutput& itb = outputs[2 * i + 1];
     liveness.merge(ud.liveness);
     liveness.merge(itb.liveness);
+    if (fcli.enabled) {
+      bflight.add(std::move(ud.recording));
+      bflight.add(std::move(itb.recording));
+    }
     if (g_report) {
       const std::string base = kernels[i].name;
       g_report->add_counters(base + "_ud", std::move(ud.counters));
@@ -170,6 +182,7 @@ int main(int argc, char** argv) {
               "decongestion); the ring is\nlatency-bound and nearly "
               "unaffected; master/worker sits in between.\n");
   if (g_watchdog) health::print_liveness_summary(liveness);
+  if (!bflight.finish("ext_applications", g_report)) return 1;
 
   if (json_path) {
     if (g_watchdog) health::add_liveness_scalars(bench_report, liveness);

@@ -22,6 +22,7 @@
 
 #include "itb/core/cluster.hpp"
 #include "itb/core/parallel.hpp"
+#include "itb/flight/bench_support.hpp"
 #include "itb/health/watchdog.hpp"
 #include "itb/telemetry/export.hpp"
 
@@ -86,10 +87,12 @@ struct PointResult {
   bool reconciled = false;
   std::vector<telemetry::MetricSample> counters;
   health::LivenessVerdict liveness;  // --watchdog only
+  flight::Recording recording;       // --flight only
 };
 
 PointResult run_point(const Scenario& sc, double drop, const ChaosLevel& lvl,
-                      bool want_counters, bool watchdog) {
+                      bool want_counters, bool watchdog,
+                      const flight::RecorderConfig& frc) {
   core::ClusterConfig cfg;
   cfg.topology = sc.make();
   cfg.policy = sc.policy;
@@ -113,6 +116,7 @@ PointResult run_point(const Scenario& sc, double drop, const ChaosLevel& lvl,
     cfg.fault_schedule = fault::FaultSchedule::chaos(cfg.topology, spec);
   }
   cfg.watchdog.enabled = watchdog;
+  cfg.flight = frc;
   core::Cluster c(std::move(cfg));
 
   std::vector<int> delivered(kMessages, 0);
@@ -172,6 +176,7 @@ PointResult run_point(const Scenario& sc, double drop, const ChaosLevel& lvl,
   r.retransmissions = c.port(sc.src).stats().retransmissions;
   r.end = c.queue().now();
   if (want_counters) r.counters = c.telemetry().registry().snapshot();
+  if (c.flight()) r.recording = c.flight()->snapshot();
   return r;
 }
 
@@ -181,6 +186,7 @@ int main(int argc, char** argv) {
   const auto json_path = telemetry::json_flag(argc, argv);
   const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
   const bool watchdog = health::watchdog_flag(argc, argv);
+  const auto fcli = flight::flight_flags(argc, argv);
   telemetry::BenchReport report("ext_reliability");
   report.set_param("messages", kMessages);
   report.set_param("message_bytes", kMessageBytes);
@@ -208,7 +214,7 @@ int main(int argc, char** argv) {
       [&](std::size_t i) {
         const Point& p = points[i];
         auto r = run_point(*p.sc, p.drop, *p.lvl, json_path.has_value(),
-                           watchdog);
+                           watchdog, fcli.recorder());
         r.run_name = std::string(p.sc->name) + "_" + p.lvl->name + "_d" +
                      std::to_string(static_cast<int>(p.drop * 100));
         return r;
@@ -216,11 +222,13 @@ int main(int argc, char** argv) {
       jobs);
 
   bool all_exactly_once = true;
+  flight::BenchFlight bflight(fcli);
   health::LivenessVerdict liveness;
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
     PointResult& r = results[i];
     liveness.merge(r.liveness);
+    if (fcli.enabled) bflight.add(std::move(r.recording));
     std::printf("%-13s %-6s %-6.2f | %5d %5d %4d %6llu | %6llu %7llu %6llu "
                 "%7llu | %7.1fus\n",
                 p.sc->name, p.lvl->name, p.drop, r.accepted,
@@ -276,6 +284,8 @@ int main(int argc, char** argv) {
                               "reconciled loss ledger."
                             : "EXACTLY-ONCE VIOLATION: see rows above.");
   if (watchdog) health::print_liveness_summary(liveness);
+  if (!bflight.finish("ext_reliability", json_path ? &report : nullptr))
+    return 1;
 
   if (json_path) {
     if (watchdog) health::add_liveness_scalars(report, liveness);

@@ -9,9 +9,14 @@
 // `--json <path>` additionally writes an itb.telemetry.v1 report: the
 // per-size table, half-RTT histograms and per-channel utilization series
 // for both MCPs (runs "orig" and "mod").
+//
+// `--flight` records packet lifecycles on both clusters and prints the
+// critical-path breakdown; `--flight-out`/`--flight-trace` save the merged
+// recording / the Perfetto-loadable Chrome trace.
 #include <cstdio>
 
 #include "itb/core/experiments.hpp"
+#include "itb/flight/bench_support.hpp"
 #include "itb/telemetry/export.hpp"
 #include "itb/workload/pingpong.hpp"
 
@@ -37,14 +42,15 @@ std::vector<workload::AllsizeRow> run(core::Cluster& cluster,
 int main(int argc, char** argv) {
   using namespace itb;
   const auto json_path = telemetry::json_flag(argc, argv);
+  const auto fcli = flight::flight_flags(argc, argv);
 
   workload::AllsizeConfig cfg;
   cfg.iterations = 100;
   // Single-packet GM messages, like the paper's sweep.
   cfg.sizes = {4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4000};
 
-  auto orig = core::make_fig7_cluster(/*modified_mcp=*/false);
-  auto mod = core::make_fig7_cluster(/*modified_mcp=*/true);
+  auto orig = core::make_fig7_cluster(/*modified_mcp=*/false, fcli.recorder());
+  auto mod = core::make_fig7_cluster(/*modified_mcp=*/true, fcli.recorder());
 
   auto rows_orig = run(*orig, cfg, json_path.has_value());
   auto rows_mod = run(*mod, cfg, json_path.has_value());
@@ -82,6 +88,14 @@ int main(int argc, char** argv) {
   std::printf("\naverage delta: %.1f ns   (paper: ~125 ns)\n", avg_delta);
   std::printf("maximum delta: %.1f ns   (paper: < 300 ns)\n", max_delta);
   std::printf("relative overhead falls with size (paper: ~1%% -> ~0.4%%)\n");
+
+  flight::BenchFlight flight(fcli);
+  if (fcli.enabled) {
+    flight.add(orig->flight()->snapshot());
+    flight.add(mod->flight()->snapshot());
+  }
+  if (!flight.finish("fig7_code_overhead", json_path ? &report : nullptr))
+    return 1;
 
   if (json_path) {
     report.add_scalar("average_delta_ns", avg_delta);

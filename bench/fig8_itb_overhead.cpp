@@ -11,9 +11,21 @@
 // `--json <path>` additionally writes an itb.telemetry.v1 report: the
 // per-size table, half-RTT histograms and per-channel utilization series
 // for both paths (runs "ud" and "itb").
+//
+// `--jobs N` fans the two independent clusters (ud, itb) across threads;
+// output is bit-identical to `--jobs 1` because each point owns its
+// cluster and results return by value.
+//
+// `--flight` records every packet's lifecycle, prints the critical-path
+// breakdown and run fingerprint, and writes a Perfetto-loadable Chrome
+// trace (default fig8_flight_trace.json; override with --flight-trace).
+// `--flight-out <path>` saves the merged itb.flight.v1 recording, which CI
+// diffs across --jobs values and commits.
 #include <cstdio>
 
 #include "itb/core/experiments.hpp"
+#include "itb/core/parallel.hpp"
+#include "itb/flight/bench_support.hpp"
 #include "itb/telemetry/export.hpp"
 #include "itb/workload/pingpong.hpp"
 
@@ -34,21 +46,52 @@ std::vector<workload::AllsizeRow> run(core::Cluster& cluster,
   return rows;
 }
 
+/// One forward-path configuration, returned by value so the cluster can
+/// die on the worker thread.
+struct PathOutput {
+  std::vector<workload::AllsizeRow> rows;
+  std::uint64_t itb_forwarded = 0;
+  std::uint64_t delivered_to_host = 0;
+  std::vector<telemetry::MetricSample> counters;
+  std::vector<telemetry::Sampler::Series> series;
+  flight::Recording recording;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace itb;
   const auto json_path = telemetry::json_flag(argc, argv);
+  const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
+  auto fcli = flight::flight_flags(argc, argv);
+  // Acceptance artifact: plain --flight still emits the Perfetto trace.
+  if (fcli.enabled && !fcli.trace) fcli.trace = "fig8_flight_trace.json";
 
   workload::AllsizeConfig cfg;
   cfg.iterations = 100;
   cfg.sizes = {4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4000};
 
-  auto ud = core::make_fig8_cluster(/*itb_path=*/false);
-  auto itb = core::make_fig8_cluster(/*itb_path=*/true);
-
-  auto rows_ud = run(*ud, cfg, json_path.has_value());
-  auto rows_itb = run(*itb, cfg, json_path.has_value());
+  // Point 0 = the UD forward route, point 1 = the UD+ITB route.
+  auto outputs = core::run_sweep_parallel(
+      2,
+      [&](std::size_t i) {
+        auto cluster = core::make_fig8_cluster(/*itb_path=*/i == 1, {}, {}, {},
+                                               fcli.recorder());
+        PathOutput out;
+        out.rows = run(*cluster, cfg, json_path.has_value());
+        out.itb_forwarded = cluster->nic(core::kInTransit).stats().itb_forwarded;
+        out.delivered_to_host =
+            cluster->nic(core::kInTransit).stats().delivered_to_host;
+        if (json_path) {
+          out.counters = cluster->telemetry().registry().snapshot();
+          out.series = cluster->telemetry().sampler().series();
+        }
+        if (cluster->flight()) out.recording = cluster->flight()->snapshot();
+        return out;
+      },
+      jobs);
+  const auto& rows_ud = outputs[0].rows;
+  const auto& rows_itb = outputs[1].rows;
 
   std::printf("Figure 8: message latency overhead of the ITB mechanism\n");
   std::printf("(half-round-trip; both paths cross 5 switches and the same "
@@ -87,21 +130,27 @@ int main(int argc, char** argv) {
   std::printf("relative overhead falls with size (paper: ~10%% -> ~3%%)\n");
 
   // Sanity: the in-transit NIC actually forwarded every ping in firmware.
-  const auto forwarded = itb->nic(core::kInTransit).stats().itb_forwarded;
-  const auto delivered = itb->nic(core::kInTransit).stats().delivered_to_host;
+  const auto forwarded = outputs[1].itb_forwarded;
+  const auto delivered = outputs[1].delivered_to_host;
   std::printf("\nin-transit NIC forwarded %llu packets, delivered %llu to "
               "its host\n",
               static_cast<unsigned long long>(forwarded),
               static_cast<unsigned long long>(delivered));
 
+  telemetry::BenchReport* rp = json_path ? &report : nullptr;
+  flight::BenchFlight flight(fcli);
+  if (fcli.enabled)
+    for (auto& o : outputs) flight.add(std::move(o.recording));
+  if (!flight.finish("fig8_itb_overhead", rp)) return 1;
+
   if (json_path) {
     report.add_scalar("average_per_itb_overhead_ns", avg_overhead);
     report.add_scalar("itb_forwarded", static_cast<double>(forwarded));
     report.add_scalar("itb_delivered_to_host", static_cast<double>(delivered));
-    report.add_counters("ud", ud->telemetry().registry());
-    report.add_counters("itb", itb->telemetry().registry());
-    report.add_series("ud", ud->telemetry().sampler());
-    report.add_series("itb", itb->telemetry().sampler());
+    report.add_counters("ud", std::move(outputs[0].counters));
+    report.add_counters("itb", std::move(outputs[1].counters));
+    report.add_series("ud", std::move(outputs[0].series));
+    report.add_series("itb", std::move(outputs[1].series));
     if (!report.write(*json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
       return 1;

@@ -18,12 +18,17 @@
 // `--jobs N` fans the 16 independent {policy, rate} points across N
 // threads (default: hardware concurrency). Every point builds its own
 // cluster from the seed, so results are bit-identical to `--jobs 1`.
+//
+// `--flight` records packet lifecycles on every point and prints the
+// merged critical-path breakdown and run fingerprint;
+// `--flight-out`/`--flight-trace` save the recording / Chrome trace.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "itb/core/cluster.hpp"
 #include "itb/core/parallel.hpp"
+#include "itb/flight/bench_support.hpp"
 #include "itb/health/watchdog.hpp"
 #include "itb/routing/deadlock.hpp"
 #include "itb/telemetry/export.hpp"
@@ -59,13 +64,16 @@ struct PointOutput {
   std::vector<telemetry::MetricSample> counters;      // sampled point only
   std::vector<telemetry::Sampler::Series> series;     // sampled point only
   health::LivenessVerdict liveness;                   // --watchdog only
+  flight::Recording recording;                        // --flight only
 };
 
 PointOutput run_point(routing::Policy policy, std::uint64_t seed, double rate,
-                      bool sample, bool watchdog) {
+                      bool sample, bool watchdog,
+                      const flight::RecorderConfig& frc) {
   core::ClusterConfig cfg;
   cfg.topology = make_network(seed);
   cfg.policy = policy;
+  cfg.flight = frc;
   // Loaded-network configuration (paper §4): the two-buffer shipped MCP
   // can deadlock through buffer-wait cycles once in-transit packets hold
   // receive buffers while their re-injection blocks; the proposed
@@ -99,6 +107,7 @@ PointOutput run_point(routing::Policy policy, std::uint64_t seed, double rate,
     out.series = cluster.telemetry().sampler().series();
   }
   if (watchdog) out.liveness = cluster.health()->verdict();
+  if (cluster.flight()) out.recording = cluster.flight()->snapshot();
   return out;
 }
 
@@ -106,7 +115,8 @@ std::vector<SweepPoint> sweep(routing::Policy policy, std::uint64_t seed,
                               const std::vector<double>& rates,
                               telemetry::BenchReport* report,
                               const std::string& run, unsigned jobs,
-                              health::LivenessVerdict* liveness) {
+                              health::LivenessVerdict* liveness,
+                              flight::BenchFlight* bf) {
   // Every rate is an independent simulation: fan them out, then merge into
   // the report serially in rate order so the document (and stdout) is
   // byte-identical for any job count.
@@ -116,7 +126,8 @@ std::vector<SweepPoint> sweep(routing::Policy policy, std::uint64_t seed,
         // Time series only at the saturating rate: 128 channels x 8 rates
         // would swamp the report without adding information.
         const bool sample = report && i + 1 == rates.size();
-        return run_point(policy, seed, rates[i], sample, liveness != nullptr);
+        return run_point(policy, seed, rates[i], sample, liveness != nullptr,
+                         bf ? bf->cli().recorder() : flight::RecorderConfig{});
       },
       jobs);
 
@@ -125,6 +136,7 @@ std::vector<SweepPoint> sweep(routing::Policy policy, std::uint64_t seed,
     const double rate = rates[i];
     const workload::LoadResult& r = outputs[i].load;
     if (liveness) liveness->merge(outputs[i].liveness);
+    if (bf) bf->add(std::move(outputs[i].recording));
     points.push_back(SweepPoint{rate, r.accepted_msgs_per_s_per_host,
                                 r.latency_mean_ns / 1000.0,
                                 r.latency_p99_ns / 1000.0});
@@ -163,6 +175,7 @@ int main(int argc, char** argv) {
   const auto json_path = telemetry::json_flag(argc, argv);
   const unsigned jobs = core::jobs_flag(argc, argv).value_or(0);
   const bool watchdog = health::watchdog_flag(argc, argv);
+  const auto fcli = flight::flight_flags(argc, argv);
   const std::uint64_t seed = 2001;
   const std::vector<double> rates = {2.5e3, 5e3,   1e4,   1.5e4,
                                      2e4,   2.5e4, 3e4,   4e4};
@@ -209,8 +222,11 @@ int main(int argc, char** argv) {
   telemetry::BenchReport* rp = json_path ? &report : nullptr;
   health::LivenessVerdict liveness;
   health::LivenessVerdict* lp = watchdog ? &liveness : nullptr;
-  auto ud = sweep(routing::Policy::kUpDown, seed, rates, rp, "ud", jobs, lp);
-  auto itb = sweep(routing::Policy::kItb, seed, rates, rp, "itb", jobs, lp);
+  flight::BenchFlight bflight(fcli);
+  flight::BenchFlight* bf = fcli.enabled ? &bflight : nullptr;
+  auto ud =
+      sweep(routing::Policy::kUpDown, seed, rates, rp, "ud", jobs, lp, bf);
+  auto itb = sweep(routing::Policy::kItb, seed, rates, rp, "itb", jobs, lp, bf);
 
   std::printf("\nuniform traffic, 512 B messages, accepted msgs/s/host and "
               "mean latency:\n\n");
@@ -233,6 +249,7 @@ int main(int argc, char** argv) {
               "fabric; our figure includes full\nGM endpoint overheads, "
               "which compress the ratio)\n", f, matched);
   if (watchdog) health::print_liveness_summary(liveness);
+  if (!bflight.finish("motivation_throughput", rp)) return 1;
 
   if (json_path) {
     report.add_scalar("saturation_ratio", f);

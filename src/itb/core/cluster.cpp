@@ -10,6 +10,14 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
 
   network_ = std::make_unique<net::Network>(config_.topology,
                                             config_.net_timing, queue_, tracer_);
+  if (config_.flight.enabled) {
+    flight_ = std::make_unique<flight::FlightRecorder>(config_.flight);
+    network_->set_flight_recorder(flight_.get());
+    tracer_.emit(0, sim::TraceCategory::kFlight, [&] {
+      return "flight recorder armed, ring capacity " +
+             std::to_string(flight_->capacity());
+    });
+  }
   for (std::uint16_t h = 0; h < hosts; ++h) {
     pci_.push_back(std::make_unique<host::PciBus>(queue_, config_.pci_timing));
     nics_.push_back(std::make_unique<nic::Nic>(
@@ -91,6 +99,7 @@ void Cluster::wire_telemetry() {
   if (fault_injector_) fault_injector_->register_metrics(reg);
   if (recovery_) recovery_->register_metrics(reg);
   if (watchdog_) watchdog_->register_metrics(reg);
+  if (flight_) flight_->register_metrics(reg);
 
   // Default sampler probes (see the telemetry() doc comment in the header).
   auto& s = telemetry_->sampler();

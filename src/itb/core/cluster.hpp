@@ -21,6 +21,7 @@
 #include "itb/fault/fault.hpp"
 #include "itb/fault/injector.hpp"
 #include "itb/fault/recovery.hpp"
+#include "itb/flight/recorder.hpp"
 #include "itb/gm/port.hpp"
 #include "itb/health/watchdog.hpp"
 #include "itb/host/pci.hpp"
@@ -74,6 +75,9 @@ struct ClusterConfig {
   /// diagnosis + graceful degradation. Disabled by default; benches enable
   /// it behind --watchdog.
   health::WatchdogConfig watchdog;
+  /// Flight recorder (DESIGN.md §6g): packed packet-lifecycle capture.
+  /// Disabled by default; benches enable it behind --flight.
+  flight::RecorderConfig flight;
 };
 
 class Cluster {
@@ -110,6 +114,9 @@ class Cluster {
   /// Liveness watchdog; nullptr unless config.watchdog.enabled.
   health::LivenessWatchdog* health() { return watchdog_.get(); }
   const health::LivenessWatchdog* health() const { return watchdog_.get(); }
+  /// Flight recorder; nullptr unless config.flight.enabled.
+  flight::FlightRecorder* flight() { return flight_.get(); }
+  const flight::FlightRecorder* flight() const { return flight_.get(); }
   ip::IpStack& ip(std::uint16_t host) { return *ip_stacks_.at(host); }
   nic::Nic& nic(std::uint16_t host) { return *nics_.at(host); }
   const topo::Topology& topology() const { return config_.topology; }
@@ -138,6 +145,9 @@ class Cluster {
   ClusterConfig config_;
   sim::EventQueue queue_;
   sim::Tracer tracer_;
+  // Before network_: every layer records through the network's pointer, so
+  // the recorder must outlive the components that feed it.
+  std::unique_ptr<flight::FlightRecorder> flight_;
   std::unique_ptr<net::Network> network_;
   std::optional<mapper::DiscoveryReport> report_;
   std::optional<routing::RouteTable> table_;

@@ -21,19 +21,22 @@ void fill_common(Routes& r) {
 std::unique_ptr<Cluster> make_testbed_cluster(
     Routes routes, const nic::McpOptions& options,
     const nic::LanaiTiming& lanai,
-    const health::WatchdogConfig& watchdog = {}) {
+    const health::WatchdogConfig& watchdog = {},
+    const flight::RecorderConfig& flight = {}) {
   ClusterConfig cfg;
   cfg.topology = topo::make_paper_testbed();
   cfg.mcp_options = options;
   cfg.lanai_timing = lanai;
   cfg.manual_routes = std::move(routes);
   cfg.watchdog = watchdog;
+  cfg.flight = flight;
   return std::make_unique<Cluster>(std::move(cfg));
 }
 
 }  // namespace
 
-std::unique_ptr<Cluster> make_fig7_cluster(bool modified_mcp) {
+std::unique_ptr<Cluster> make_fig7_cluster(bool modified_mcp,
+                                           const flight::RecorderConfig& flight) {
   Routes r = empty_routes();
   fill_common(r);
   // 3 traversals forward (s0, s1, loop back into s1), 2 reverse: the
@@ -41,13 +44,14 @@ std::unique_ptr<Cluster> make_fig7_cluster(bool modified_mcp) {
   r[kHost1][kHost2] = {{5, 7, 4}};
   nic::McpOptions options;
   options.itb_support = modified_mcp;
-  return make_testbed_cluster(std::move(r), options, {});
+  return make_testbed_cluster(std::move(r), options, {}, {}, flight);
 }
 
 std::unique_ptr<Cluster> make_fig8_cluster(bool itb_path,
                                            const nic::McpOptions& options,
                                            const nic::LanaiTiming& lanai,
-                                           const health::WatchdogConfig& watchdog) {
+                                           const health::WatchdogConfig& watchdog,
+                                           const flight::RecorderConfig& flight) {
   Routes r = empty_routes();
   fill_common(r);
   if (itb_path) {
@@ -55,7 +59,7 @@ std::unique_ptr<Cluster> make_fig8_cluster(bool itb_path,
   } else {
     r[kHost1][kHost2] = {{5, 7, 6, 6, 4}};    // loop in switch 2; 5 traversals
   }
-  return make_testbed_cluster(std::move(r), options, lanai, watchdog);
+  return make_testbed_cluster(std::move(r), options, lanai, watchdog, flight);
 }
 
 }  // namespace itb::core

@@ -38,16 +38,20 @@ inline constexpr std::uint16_t kInTransit = 1;
 inline constexpr std::uint16_t kHost2 = 2;
 
 /// Fig. 7 cluster: up*/down* routes; `modified_mcp` selects the ITB-capable
-/// MCP (true) or the original GM MCP (false).
-std::unique_ptr<Cluster> make_fig7_cluster(bool modified_mcp);
+/// MCP (true) or the original GM MCP (false). `flight` arms the flight
+/// recorder (benches pass it through from --flight).
+std::unique_ptr<Cluster> make_fig7_cluster(
+    bool modified_mcp, const flight::RecorderConfig& flight = {});
 
 /// Fig. 8 cluster: ITB-capable MCP on every NIC; `itb_path` selects the
 /// UD+ITB forward route (true) or the 5-traversal UD route (false).
 /// `options` lets the ablation benches tweak the MCP; `watchdog` arms the
-/// liveness watchdog (benches pass it through from --watchdog).
+/// liveness watchdog and `flight` the flight recorder (benches pass them
+/// through from --watchdog / --flight).
 std::unique_ptr<Cluster> make_fig8_cluster(
     bool itb_path, const nic::McpOptions& options = {},
     const nic::LanaiTiming& lanai = {},
-    const health::WatchdogConfig& watchdog = {});
+    const health::WatchdogConfig& watchdog = {},
+    const flight::RecorderConfig& flight = {});
 
 }  // namespace itb::core

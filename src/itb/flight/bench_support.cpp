@@ -1,0 +1,152 @@
+#include "itb/flight/bench_support.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <string_view>
+
+namespace itb::flight {
+namespace {
+
+std::optional<std::string> path_flag(int argc, char** argv,
+                                     std::string_view flag) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == flag) {
+      if (i + 1 >= argc)
+        throw std::invalid_argument(std::string(flag) + " needs a path");
+      return std::string(argv[i + 1]);
+    }
+    if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+        arg[flag.size()] == '=')
+      return std::string(arg.substr(flag.size() + 1));
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+FlightCli flight_flags(int argc, char** argv) {
+  FlightCli cli;
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view(argv[i]) == "--flight") cli.enabled = true;
+  cli.out = path_flag(argc, argv, "--flight-out");
+  cli.trace = path_flag(argc, argv, "--flight-trace");
+  if (cli.out || cli.trace) cli.enabled = true;
+  return cli;
+}
+
+void BenchFlight::add(Recording r) { recordings_.push_back(std::move(r)); }
+
+Recording BenchFlight::merged() const {
+  Recording m;
+  m.fingerprint = kFingerprintSeed;
+  for (const auto& r : recordings_) m.append(r);
+  return m;
+}
+
+bool BenchFlight::finish(const std::string& bench_name,
+                         telemetry::BenchReport* report) const {
+  if (!cli_.enabled) return true;
+  const Recording m = merged();
+
+  // Stitch one timeline per simulation point: transmission handles, GM
+  // tokens and timestamps are only unique within a point's cluster, so a
+  // single timeline over the concatenated stream would cross-link packets
+  // from different points. Stats sum; the fingerprint chains over `m`.
+  StageBreakdown totals;
+  std::size_t journey_count = 0, complete = 0;
+  sim::Duration max_residual = 0;
+  WormTimeline::ItbHopSplit split;
+  std::vector<Journey> journeys;
+  for (const auto& r : recordings_) {
+    const WormTimeline tl(r);
+    totals.add(tl.totals());
+    journey_count += tl.journeys().size();
+    complete += tl.complete_count();
+    max_residual = std::max(max_residual, tl.max_stage_residual());
+    const auto s = tl.itb_hop_split();
+    // Re-weight the per-point means into one global mean.
+    split.detect_ns += s.detect_ns * static_cast<double>(s.hops);
+    split.wait_ns += s.wait_ns * static_cast<double>(s.hops);
+    split.dma_ns += s.dma_ns * static_cast<double>(s.hops);
+    split.hops += s.hops;
+    journeys.insert(journeys.end(), tl.journeys().begin(),
+                    tl.journeys().end());
+  }
+  if (split.hops > 0) {
+    split.detect_ns /= static_cast<double>(split.hops);
+    split.wait_ns /= static_cast<double>(split.hops);
+    split.dma_ns /= static_cast<double>(split.hops);
+  }
+
+  std::printf("\nflight recorder: %llu events (%llu evicted), "
+              "%zu journeys (%zu complete), fingerprint %s\n",
+              static_cast<unsigned long long>(m.recorded),
+              static_cast<unsigned long long>(m.evicted), journey_count,
+              complete, ReplayChecker::fingerprint_hex(m.fingerprint).c_str());
+  if (complete > 0) {
+    const double n = static_cast<double>(complete);
+    std::printf("critical path per delivered packet (mean over %zu):\n",
+                complete);
+    for (const auto& view : stage_views()) {
+      const auto d = totals.*(view.field);
+      if (d == 0) continue;
+      std::printf("  %-12s %10.3f us\n", view.name,
+                  static_cast<double>(d) / n / 1000.0);
+    }
+    std::printf("  %-12s %10.3f us\n", "total",
+                static_cast<double>(totals.total()) / n / 1000.0);
+  }
+  if (split.hops > 0)
+    std::printf("per-ITB hop (mean over %zu): detect %.3f us + wait %.3f us "
+                "+ dma %.3f us = %.3f us\n",
+                split.hops, split.detect_ns / 1000.0, split.wait_ns / 1000.0,
+                split.dma_ns / 1000.0, split.total_ns() / 1000.0);
+
+  bool ok = true;
+  if (max_residual >= 1) {
+    std::fprintf(stderr,
+                 "flight: critical-path sum diverges from measured journey "
+                 "latency by %lld ns\n",
+                 static_cast<long long>(max_residual));
+    ok = false;
+  }
+
+  if (cli_.out) {
+    if (ReplayChecker::save(m, *cli_.out)) {
+      std::printf("flight recording written to %s\n", cli_.out->c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", cli_.out->c_str());
+      ok = false;
+    }
+  }
+  if (cli_.trace) {
+    if (write_chrome_trace(*cli_.trace, bench_name, journeys)) {
+      std::printf("Chrome trace written to %s (load in ui.perfetto.dev)\n",
+                  cli_.trace->c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", cli_.trace->c_str());
+      ok = false;
+    }
+  }
+
+  if (report) {
+    for (const auto& view : stage_views())
+      report->add_scalar(std::string("flight.path.") + view.name + "_ns",
+                         static_cast<double>(totals.*(view.field)));
+    report->add_scalar("flight.path.total_ns",
+                       static_cast<double>(totals.total()));
+    report->add_scalar("flight.journeys",
+                       static_cast<double>(journey_count));
+    report->add_scalar("flight.complete_journeys",
+                       static_cast<double>(complete));
+    report->add_scalar("flight.events", static_cast<double>(m.recorded));
+    report->add_scalar("flight.itb_hop_mean_ns", split.total_ns());
+    report->set_param("flight.fingerprint",
+                      ReplayChecker::fingerprint_hex(m.fingerprint));
+  }
+  return ok;
+}
+
+}  // namespace itb::flight

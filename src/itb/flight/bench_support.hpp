@@ -1,0 +1,70 @@
+// Shared bench-side flight wiring, so every sweep binary exposes the same
+// three flags with one call each:
+//
+//   --flight             record packet lifecycles; print the critical-path
+//                        summary and the run fingerprint
+//   --flight-out=PATH    also save the merged recording as itb.flight.v1
+//   --flight-trace=PATH  also write the Chrome trace_event JSON (Perfetto)
+//
+// A sweep bench collects one Recording per point (returned by value from
+// the worker, like histograms and counters) and adds them in point order;
+// the merged fingerprint is then bit-identical for any --jobs value, which
+// is exactly what CI asserts against the golden.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "itb/flight/chrome_trace.hpp"
+#include "itb/flight/recorder.hpp"
+#include "itb/flight/replay.hpp"
+#include "itb/flight/timeline.hpp"
+#include "itb/telemetry/export.hpp"
+
+namespace itb::flight {
+
+struct FlightCli {
+  bool enabled = false;
+  std::optional<std::string> out;    // --flight-out
+  std::optional<std::string> trace;  // --flight-trace
+
+  RecorderConfig recorder() const {
+    RecorderConfig rc;
+    rc.enabled = enabled;
+    return rc;
+  }
+};
+
+/// Parse the flight flags out of argv. `--flight-out`/`--flight-trace`
+/// imply `--flight`. Throws std::invalid_argument on a missing path.
+FlightCli flight_flags(int argc, char** argv);
+
+/// Accumulates per-point recordings and finishes the run: prints the
+/// critical-path table + fingerprint, verifies the stage-sum invariant,
+/// writes the requested files, and adds flight.* scalars to the report.
+class BenchFlight {
+ public:
+  explicit BenchFlight(FlightCli cli) : cli_(std::move(cli)) {}
+
+  bool enabled() const { return cli_.enabled; }
+  const FlightCli& cli() const { return cli_; }
+
+  /// Append one point's recording (call in point order).
+  void add(Recording r);
+
+  Recording merged() const;
+
+  /// Print summary + write files + export scalars. Returns false when the
+  /// stage-sum invariant fails (any complete journey whose critical-path
+  /// sum is off by >= 1 ns from its end-to-end latency) or a file cannot
+  /// be written — bench mains turn that into a nonzero exit.
+  bool finish(const std::string& bench_name,
+              telemetry::BenchReport* report) const;
+
+ private:
+  FlightCli cli_;
+  std::vector<Recording> recordings_;
+};
+
+}  // namespace itb::flight

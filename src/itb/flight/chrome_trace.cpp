@@ -1,0 +1,110 @@
+#include "itb/flight/chrome_trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "itb/telemetry/export.hpp"
+
+namespace itb::flight {
+namespace {
+
+double us(sim::Time t) { return static_cast<double>(t) / 1000.0; }
+
+/// One trace_event object. `ph` is the phase letter; dur < 0 omits it.
+void event(telemetry::JsonWriter& w, std::string_view name,
+           std::string_view ph, double ts_us, double dur_us, int tid) {
+  w.begin_object();
+  w.kv("name", name);
+  w.kv("cat", "flight");
+  w.kv("ph", ph);
+  w.kv("ts", ts_us);
+  if (dur_us >= 0) w.kv("dur", dur_us);
+  w.kv("pid", 0);
+  w.kv("tid", tid);
+  if (ph == "i") w.kv("s", "t");  // thread-scoped instant
+  w.end_object();
+}
+
+void metadata(telemetry::JsonWriter& w, std::string_view what, int tid,
+              std::string_view name) {
+  w.begin_object();
+  w.kv("name", what);
+  w.kv("ph", "M");
+  w.kv("pid", 0);
+  if (tid >= 0) w.kv("tid", tid);
+  w.key("args");
+  w.begin_object();
+  w.kv("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, std::string_view name,
+                        const WormTimeline& timeline) {
+  write_chrome_trace(out, name, timeline.journeys());
+}
+
+void write_chrome_trace(std::ostream& out, std::string_view name,
+                        const std::vector<Journey>& journeys) {
+  telemetry::JsonWriter w(out);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ns");
+  w.key("traceEvents");
+  w.begin_array();
+  metadata(w, "process_name", -1, name);
+
+  int tid = 0;
+  for (const auto& j : journeys) {
+    const std::string track =
+        "tx" + std::to_string(j.root) + " h" + std::to_string(j.src) + "->h" +
+        std::to_string(j.dst) + " " + std::to_string(j.wire_bytes) + "B (" +
+        to_string(j.outcome) + (j.truncated ? ", truncated)" : ")");
+    metadata(w, "thread_name", tid, track);
+
+    // Critical-path stages as consecutive slices. Stages telescope over the
+    // journey, so emitting them back-to-back from `start` reproduces every
+    // marker instant for complete journeys.
+    sim::Time cursor = j.start;
+    for (const auto& view : stage_views()) {
+      const sim::Duration d = j.stages.*(view.field);
+      if (d <= 0) continue;
+      event(w, view.name, "X", us(cursor), static_cast<double>(d) / 1000.0,
+            tid);
+      cursor += d;
+    }
+    // Whole-journey envelope one nesting level up (emitted last so slices
+    // at equal ts sort inner-first in Perfetto's JSON importer).
+    event(w, "journey", "X", us(j.start),
+          static_cast<double>(j.end - j.start) / 1000.0, tid);
+
+    for (const auto& hop : j.itb_hops) {
+      event(w, "ITB eject h" + std::to_string(hop.host), "i", us(hop.eject),
+            -1, tid);
+      event(w, "early recv", "i", us(hop.early), -1, tid);
+      event(w, "reinjection DMA", "i", us(hop.dma_start), -1, tid);
+      event(w, "reinjected", "i", us(hop.reinject), -1, tid);
+    }
+    if (j.outcome != Outcome::kDelivered)
+      event(w, to_string(j.outcome), "i", us(j.end), -1, tid);
+    ++tid;
+  }
+  w.end_array();
+  w.end_object();
+}
+
+bool write_chrome_trace(const std::string& path, std::string_view name,
+                        const WormTimeline& timeline) {
+  return write_chrome_trace(path, name, timeline.journeys());
+}
+
+bool write_chrome_trace(const std::string& path, std::string_view name,
+                        const std::vector<Journey>& journeys) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, name, journeys);
+  return static_cast<bool>(out);
+}
+
+}  // namespace itb::flight

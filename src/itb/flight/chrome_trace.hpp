@@ -1,0 +1,34 @@
+// Chrome trace_event JSON export of a flight recording, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Layout: one process per run (`name`), one track (tid) per journey. Each
+// critical-path stage is a complete ("X") slice; ITB sub-spans and the raw
+// lifecycle markers (Early Recv raise, DMA start, terminal fates) are
+// instant ("i") events on the same track. Timestamps are microsecond
+// doubles (trace_event's unit), which keeps full nanosecond precision as
+// fractions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "itb/flight/recorder.hpp"
+#include "itb/flight/timeline.hpp"
+
+namespace itb::flight {
+
+void write_chrome_trace(std::ostream& out, std::string_view name,
+                        const WormTimeline& timeline);
+/// Journeys directly — what a multi-point bench uses after stitching one
+/// timeline per simulation point (handles are only unique within a point).
+void write_chrome_trace(std::ostream& out, std::string_view name,
+                        const std::vector<Journey>& journeys);
+
+/// Returns false when the file cannot be opened.
+bool write_chrome_trace(const std::string& path, std::string_view name,
+                        const WormTimeline& timeline);
+bool write_chrome_trace(const std::string& path, std::string_view name,
+                        const std::vector<Journey>& journeys);
+
+}  // namespace itb::flight

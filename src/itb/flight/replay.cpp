@@ -1,0 +1,164 @@
+#include "itb/flight/replay.hpp"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace itb::flight {
+namespace {
+
+constexpr char kMagic[4] = {'I', 'F', 'L', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_u16(std::ostream& out, std::uint16_t v) {
+  const char b[2] = {static_cast<char>(v & 0xff),
+                     static_cast<char>((v >> 8) & 0xff)};
+  out.write(b, 2);
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 4);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 8);
+}
+
+bool get_u16(std::istream& in, std::uint16_t& v) {
+  unsigned char b[2];
+  if (!in.read(reinterpret_cast<char*>(b), 2)) return false;
+  v = static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  return true;
+}
+
+bool get_u32(std::istream& in, std::uint32_t& v) {
+  unsigned char b[4];
+  if (!in.read(reinterpret_cast<char*>(b), 4)) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  return true;
+}
+
+bool get_u64(std::istream& in, std::uint64_t& v) {
+  unsigned char b[8];
+  if (!in.read(reinterpret_cast<char*>(b), 8)) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return true;
+}
+
+}  // namespace
+
+std::string Divergence::describe() const {
+  std::string s = "first divergence at event " + std::to_string(index) + ":\n";
+  s += "  a: " + (a ? flight::describe(*a) : std::string("<stream ended>"));
+  s += "\n  b: " + (b ? flight::describe(*b) : std::string("<stream ended>"));
+  return s;
+}
+
+std::uint64_t ReplayChecker::fingerprint(const Recording& r) {
+  std::uint64_t h = kFingerprintSeed;
+  for (const auto& e : r.events) {
+    h = fingerprint_mix(h, static_cast<std::uint64_t>(e.t));
+    h = fingerprint_mix(h, e.handle);
+    h = fingerprint_mix(h, e.aux);
+    h = fingerprint_mix(h, static_cast<std::uint64_t>(e.node) |
+                               (static_cast<std::uint64_t>(e.type) << 16) |
+                               (static_cast<std::uint64_t>(e.detail) << 24));
+  }
+  return h;
+}
+
+std::string ReplayChecker::fingerprint_hex(std::uint64_t fp) {
+  static const char* digits = "0123456789abcdef";
+  std::string s = "0x";
+  for (int i = 15; i >= 0; --i) s += digits[(fp >> (4 * i)) & 0xf];
+  return s;
+}
+
+std::optional<Divergence> ReplayChecker::diff(const Recording& a,
+                                              const Recording& b) {
+  const std::size_t n = std::min(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (!(a.events[i] == b.events[i]))
+      return Divergence{i, a.events[i], b.events[i]};
+  if (a.events.size() != b.events.size()) {
+    Divergence d;
+    d.index = n;
+    if (n < a.events.size()) d.a = a.events[n];
+    if (n < b.events.size()) d.b = b.events[n];
+    return d;
+  }
+  // Same surviving events; evicted prefixes can still differ.
+  if (a.fingerprint != b.fingerprint || a.recorded != b.recorded)
+    return Divergence{n, std::nullopt, std::nullopt};
+  return std::nullopt;
+}
+
+void ReplayChecker::save(const Recording& r, std::ostream& out) {
+  out.write(kMagic, 4);
+  put_u32(out, kVersion);
+  put_u64(out, r.events.size());
+  put_u64(out, r.recorded);
+  put_u64(out, r.evicted);
+  put_u64(out, r.fingerprint);
+  for (const auto& e : r.events) {
+    put_u64(out, static_cast<std::uint64_t>(e.t));
+    put_u64(out, e.handle);
+    put_u64(out, e.aux);
+    put_u16(out, e.node);
+    const char tb[2] = {static_cast<char>(e.type),
+                        static_cast<char>(e.detail)};
+    out.write(tb, 2);
+  }
+}
+
+bool ReplayChecker::save(const Recording& r, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  save(r, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<Recording> ReplayChecker::load(std::istream& in) {
+  std::array<char, 4> magic{};
+  if (!in.read(magic.data(), 4) ||
+      !std::equal(magic.begin(), magic.end(), kMagic))
+    return std::nullopt;
+  std::uint32_t version = 0;
+  if (!get_u32(in, version) || version != kVersion) return std::nullopt;
+  std::uint64_t count = 0;
+  Recording r;
+  if (!get_u64(in, count) || !get_u64(in, r.recorded) ||
+      !get_u64(in, r.evicted) || !get_u64(in, r.fingerprint))
+    return std::nullopt;
+  if (count > r.recorded) return std::nullopt;  // corrupt header
+  r.events.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    FlightEvent e;
+    std::uint64_t t = 0;
+    unsigned char tb[2];
+    if (!get_u64(in, t) || !get_u64(in, e.handle) || !get_u64(in, e.aux) ||
+        !get_u16(in, e.node) || !in.read(reinterpret_cast<char*>(tb), 2))
+      return std::nullopt;
+    e.t = static_cast<sim::Time>(t);
+    e.type = static_cast<EventType>(tb[0]);
+    e.detail = tb[1];
+    r.events.push_back(e);
+  }
+  return r;
+}
+
+std::optional<Recording> ReplayChecker::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return load(in);
+}
+
+}  // namespace itb::flight

@@ -1,0 +1,66 @@
+// ReplayChecker: run fingerprints, itb.flight.v1 serialization, and
+// recording diffs to the first divergent event (DESIGN.md §6g).
+//
+// The simulator is deterministic by contract (the parallel sweep runner
+// depends on it), which makes the ordered flight-event stream a run
+// *fingerprint*: two runs of the same build and scenario must produce
+// bit-identical streams, whatever --jobs says, and a changed fingerprint
+// across commits means behavior changed — CI records a golden fingerprint
+// for the testbed sweep and fails on divergence. When fingerprints differ,
+// diff() on two saved recordings names the first event where the runs part
+// ways, which is usually the whole diagnosis.
+//
+// File format `itb.flight.v1` (little-endian, field-by-field — never raw
+// struct memory, so it is identical across ABIs):
+//   magic   "IFLT"                  4 B
+//   version u32 = 1                 4 B
+//   count   u64  events that follow
+//   recorded/evicted/fingerprint    3 x u64 (whole-stream accounting)
+//   events  count x 28 B:  t i64 | handle u64 | aux u64 | node u16 |
+//                          type u8 | detail u8
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "itb/flight/recorder.hpp"
+
+namespace itb::flight {
+
+/// First event where two recordings disagree. `index` is the position in
+/// the surviving event streams; a missing optional means that stream ended.
+struct Divergence {
+  std::size_t index = 0;
+  std::optional<FlightEvent> a;
+  std::optional<FlightEvent> b;
+
+  std::string describe() const;
+};
+
+class ReplayChecker {
+ public:
+  /// Recompute a fingerprint over surviving events only (what a loaded
+  /// file can verify). Equals Recording::fingerprint iff nothing was
+  /// evicted, since the live fingerprint covers the whole stream.
+  static std::uint64_t fingerprint(const Recording& r);
+
+  /// Hex form used in bench output and the CI golden file.
+  static std::string fingerprint_hex(std::uint64_t fp);
+
+  /// First divergence between two recordings (events first, then the
+  /// whole-stream counters); nullopt when they replay identically.
+  static std::optional<Divergence> diff(const Recording& a,
+                                        const Recording& b);
+
+  // --- itb.flight.v1 ----------------------------------------------------
+  static void save(const Recording& r, std::ostream& out);
+  /// Returns false when the file cannot be opened.
+  static bool save(const Recording& r, const std::string& path);
+  /// nullopt on bad magic, unknown version, or a short/corrupt stream.
+  static std::optional<Recording> load(std::istream& in);
+  static std::optional<Recording> load(const std::string& path);
+};
+
+}  // namespace itb::flight

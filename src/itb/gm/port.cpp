@@ -51,6 +51,8 @@ bool GmPort::send(std::uint16_t dst, packet::Bytes message,
 
   const std::uint32_t msg_id = next_msg_id_++;
   const auto msg_len = static_cast<std::uint32_t>(message.size());
+  if (auto* fr = nic_.flight_recorder())
+    fr->record(flight::EventType::kGmSend, queue_.now(), msg_id, dst, msg_len);
 
   PendingMessage pm;
   pm.on_sent = std::move(on_sent);
@@ -261,6 +263,9 @@ void GmPort::handle_data(sim::Time, const GmHeader& h, packet::Bytes data) {
   conn.buffer.clear();
   conn.received_bytes = 0;
   ++stats_.messages_delivered;
+  if (auto* fr = nic_.flight_recorder())
+    fr->record(flight::EventType::kGmDeliver, queue_.now(), h.msg_id,
+               h.src_host, h.msg_len);
   const std::uint16_t src = h.src_host;
   // Host-side callback dispatch cost.
   queue_.schedule_in(config_.host_recv_overhead_ns,

@@ -142,6 +142,9 @@ TxHandle Network::inject(std::uint16_t host, packet::Bytes bytes,
 
   auto entry = channel_out(topo::host_id(host), 0);
   if (!entry) throw std::logic_error("host has no uplink");
+  if (flight_)
+    flight_->record(flight::EventType::kInject, queue_.now(), w->handle, host,
+                    w->orig_len);
   tracer_.emit(queue_.now(), sim::TraceCategory::kLink, [&] {
     return "inject h" + std::to_string(host) + " tx" +
            std::to_string(w->handle) + " " + packet::describe(w->bytes);
@@ -205,6 +208,9 @@ void Network::request_channel(Worm* w, topo::Channel c) {
   if (st.busy || host_gate_closed(topo_.channel_target(c)) ||
       !st.waiters.empty()) {
     ++stats_.head_blocks;
+    if (flight_)
+      flight_->record(flight::EventType::kHeadBlock, queue_.now(), w->handle,
+                      w->src_host, channel_index(c));
     st.waiters.push_back(w);
     w->waiting_on = c;
     return;
@@ -219,6 +225,9 @@ void Network::grant_channel(Worm* w, topo::Channel c) {
   st.owner = w;
   w->waiting_on.reset();
   w->held.push_back(c);
+  if (flight_)
+    flight_->record(flight::EventType::kGrant, queue_.now(), w->handle,
+                    w->src_host, channel_index(c));
 
   const bool is_entry = w->held.size() == 1;
   if (is_entry) {
@@ -281,6 +290,9 @@ void Network::head_at_node(Worm* w, topo::Endpoint arrival) {
     ft += timing_.lan_port_penalty_ns;
   w->pipe_ns += ft;
 
+  if (flight_)
+    flight_->record(flight::EventType::kHeadSwitch, t, w->handle,
+                    arrival.node.index, 0, out_port);
   tracer_.emit(t, sim::TraceCategory::kSwitch, [&] {
     return "tx" + std::to_string(w->handle) + " head at s" +
            std::to_string(arrival.node.index) + " -> port " +
@@ -299,6 +311,9 @@ void Network::complete_at_host(Worm* w, std::uint16_t host,
   }
   w->dst_host = host;
   w->rx_started = true;
+  if (flight_)
+    flight_->record(flight::EventType::kNicEject, head_arrival, w->handle,
+                    host);
   hooks->on_rx_head(head_arrival, w->handle);
 
   const auto len = static_cast<std::int64_t>(w->bytes.size());
@@ -326,6 +341,8 @@ void Network::complete_at_host(Worm* w, std::uint16_t host,
   });
 
   w->pending = queue_.schedule_at(tail, [this, w, host, hooks] {
+    if (flight_)
+      flight_->record(flight::EventType::kTail, queue_.now(), w->handle, host);
     // Fault injection (tests of GM's reliability claims, §3): a faulty
     // network may lose the packet outright or flip a payload bit, which
     // the CRC check at the receiving MCP turns into a discard.
@@ -377,6 +394,9 @@ void Network::release_channels(Worm* w) {
 
 void Network::drop(Worm* w, const char* why) {
   ++stats_.dropped;
+  if (flight_)
+    flight_->record(flight::EventType::kDrop, queue_.now(), w->handle,
+                    w->src_host);
   tracer_.emit(queue_.now(), sim::TraceCategory::kLink, [&] {
     return "tx" + std::to_string(w->handle) + " dropped: " + why;
   });
@@ -398,6 +418,10 @@ void Network::kill_worm(Worm* w, topo::Channel at, const char* why,
     w->waiting_on.reset();
   }
   ++stats_.lost;
+  if (flight_)
+    flight_->record(fault ? flight::EventType::kLost
+                          : flight::EventType::kForceEject,
+                    queue_.now(), w->handle, w->src_host, at.link);
   if (fault) {
     ++stats_.faults_injected;
     if (fault_hook_) fault_hook_->note_kill(at);

@@ -35,6 +35,7 @@
 #include <optional>
 #include <vector>
 
+#include "itb/flight/recorder.hpp"
 #include "itb/net/timing.hpp"
 #include "itb/net/wire_packet.hpp"
 #include "itb/sim/event_queue.hpp"
@@ -140,6 +141,14 @@ class Network {
   /// the network or be cleared before destruction.
   void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
 
+  /// Install (or clear) the flight recorder. Off by default; when set,
+  /// every lifecycle station (inject, channel block/grant, per-hop head
+  /// motion, NIC eject, tail, terminal fates) records one packed event.
+  void set_flight_recorder(flight::FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
+  flight::FlightRecorder* flight_recorder() const { return flight_; }
+
   /// The fault hook reports a link's state changed. Down: every worm
   /// holding or waiting for either directed channel is killed. Up: both
   /// channels re-arbitrate.
@@ -232,6 +241,7 @@ class Network {
   sim::Tracer& tracer_;
   NetworkStats stats_;
   FaultHook* fault_hook_ = nullptr;
+  flight::FlightRecorder* flight_ = nullptr;
   std::function<void()> activity_hook_;
 
   std::vector<HostHooks*> hooks_;     // by host index

@@ -37,6 +37,9 @@ std::uint64_t Nic::post_send(std::uint16_t dst, packet::Bytes payload,
   if (routes_.at(dst).empty())
     throw std::logic_error("no route to host " + std::to_string(dst));
   const std::uint64_t token = next_token_++;
+  if (auto* fr = network_.flight_recorder())
+    fr->record(flight::EventType::kSendPost, queue_.now(), token, host_, token,
+               static_cast<std::uint8_t>(type));
   host_queue_.push_back(PostedSend{token, dst, type, std::move(payload)});
   sdma_pump();
   return token;
@@ -128,6 +131,9 @@ void Nic::send_pump() {
                   [this, token, bytes = std::move(bytes)]() mutable {
                     const auto h = network_.inject(host_, std::move(bytes));
                     tx_tokens_[h] = token;
+                    if (auto* fr = network_.flight_recorder())
+                      fr->record(flight::EventType::kTxBind, queue_.now(), h,
+                                 host_, token);
                     ++stats_.sent;
                   });
             });
@@ -147,7 +153,7 @@ void Nic::on_rx_head(sim::Time t, net::TxHandle h) {
     network_.set_host_rx_ready(host_, false);
 }
 
-void Nic::on_rx_early_header(sim::Time, net::TxHandle h,
+void Nic::on_rx_early_header(sim::Time t, net::TxHandle h,
                              const packet::Bytes& head4) {
   if (!options_.itb_support || !options_.early_recv) return;
   if (rx_doomed_.contains(h)) return;
@@ -159,6 +165,8 @@ void Nic::on_rx_early_header(sim::Time, net::TxHandle h,
   auto type = packet::peek_type(head4);
   const bool is_itb = type == packet::PacketType::kItb;
   if (is_itb) itb_claimed_.insert(h);
+  if (auto* fr = network_.flight_recorder())
+    fr->record(flight::EventType::kEarlyRecv, t, h, host_, 0, is_itb ? 1 : 0);
 
   cpu_.post(McpPriority::kEarlyRecv, timing_.early_recv_check, [this, h,
                                                                 is_itb] {
@@ -183,6 +191,8 @@ void Nic::on_rx_early_header(sim::Time, net::TxHandle h,
 }
 
 void Nic::start_reinjection(net::TxHandle h) {
+  if (auto* fr = network_.flight_recorder())
+    fr->record(flight::EventType::kItbDmaStart, queue_.now(), h, host_);
   // Packet content: still streaming in (peek) or fully received (stash).
   packet::Bytes stripped;
   sim::Time data_ready;
@@ -226,6 +236,8 @@ void Nic::start_reinjection(net::TxHandle h) {
             network_.inject(host_, std::move(stripped), data_ready);
         reinjections_.insert(nh);
         reinject_of_[nh] = h;
+        if (auto* fr = network_.flight_recorder())
+          fr->record(flight::EventType::kReinject, queue_.now(), nh, host_, h);
       });
 }
 
@@ -268,8 +280,12 @@ void Nic::on_rx_complete(sim::Time, net::WirePacket packet) {
                   return;
                 }
                 // Late detection (early_recv ablation): forward from the
-                // fully received buffer.
+                // fully received buffer. Stands in for Early Recv in the
+                // flight timeline (detail=2) so ITB hops still stitch.
                 const auto h = packet.handle;
+                if (auto* fr = network_.flight_recorder())
+                  fr->record(flight::EventType::kEarlyRecv, queue_.now(), h,
+                             host_, 0, 2);
                 itb_claimed_.insert(h);
                 itb_stash_[h] = std::move(packet);
                 if (send_dma_busy_) {
@@ -297,13 +313,17 @@ void Nic::on_rx_complete(sim::Time, net::WirePacket packet) {
                       static_cast<std::ptrdiff_t>(head->payload_offset),
                   packet.bytes.end() - 1);
               const auto type = head->type;
+              const auto h = packet.handle;
               pci_.dma(static_cast<std::int64_t>(payload.size()),
-                       [this, type, payload = std::move(payload)]() mutable {
+                       [this, type, h, payload = std::move(payload)]() mutable {
                          cpu_.post(McpPriority::kRdmaComplete,
                                    timing_.rdma_complete,
-                                   [this, type,
+                                   [this, type, h,
                                     payload = std::move(payload)]() mutable {
                                      ++stats_.delivered_to_host;
+                                     if (auto* fr = network_.flight_recorder())
+                                       fr->record(flight::EventType::kDeliver,
+                                                  queue_.now(), h, host_);
                                      if (client_)
                                        client_->on_message(queue_.now(), type,
                                                            std::move(payload));

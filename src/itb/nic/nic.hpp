@@ -128,6 +128,12 @@ class Nic final : public net::HostHooks {
   std::uint16_t host() const { return host_; }
   const McpCpu& cpu() const { return cpu_; }
 
+  /// The network's flight recorder (nullptr when capture is off); the GM
+  /// layer records its message-level events through this.
+  flight::FlightRecorder* flight_recorder() const {
+    return network_.flight_recorder();
+  }
+
   // --- live occupancy, read by the telemetry sampler --------------------
   /// ITB packets waiting for the send DMA (the "pending" flag queue).
   std::size_t itb_pending_depth() const { return itb_pending_.size(); }

@@ -15,6 +15,7 @@ const char* to_string(TraceCategory c) {
     case TraceCategory::kTelemetry: return "telemetry";
     case TraceCategory::kFault: return "fault";
     case TraceCategory::kHealth: return "health";
+    case TraceCategory::kFlight: return "flight";
   }
   return "?";
 }

@@ -3,10 +3,17 @@
 // Models call TRACE-style hooks through a Tracer that is off by default;
 // tests and examples can attach a sink to see packet-level activity without
 // paying any formatting cost in benchmark runs.
+//
+// A Tracer fans out to any number of sinks: attach() appends and returns a
+// SinkId, so a test sink and a long-lived observer (the flight recorder's
+// lifecycle notes, a telemetry tick log) coexist instead of displacing each
+// other. The message callable runs once per emit, however many sinks listen.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "itb/sim/time.hpp"
 
@@ -24,30 +31,54 @@ enum class TraceCategory {
   kTelemetry,  // sampler ticks and registry events
   kFault,      // fault windows, kills, remaps
   kHealth,     // liveness watchdog: stalls, diagnoses, escalations
+  kFlight,     // flight recorder lifecycle: armed, snapshots, divergences
 };
 
 const char* to_string(TraceCategory c);
 
 /// Fan-out point for trace records. Formatting is deferred: the message is
-/// produced by a callable only when a sink is attached.
+/// produced by a callable only when at least one sink is attached.
 class Tracer {
  public:
   using Sink = std::function<void(Time, TraceCategory, const std::string&)>;
+  using SinkId = std::size_t;
 
-  void attach(Sink sink) { sink_ = std::move(sink); }
-  void detach() { sink_ = nullptr; }
-  bool enabled() const { return static_cast<bool>(sink_); }
+  /// Append a sink (existing sinks keep receiving). The returned id detaches
+  /// exactly this sink later; ids are not reused within a Tracer's lifetime.
+  SinkId attach(Sink sink) {
+    sinks_.push_back(std::move(sink));
+    if (sinks_.back()) ++active_;
+    return sinks_.size() - 1;
+  }
+  /// Remove one sink by id; unknown / already-detached ids are no-ops.
+  void detach(SinkId id) {
+    if (id < sinks_.size() && sinks_[id]) {
+      sinks_[id] = nullptr;
+      --active_;
+    }
+  }
+  /// Remove every sink.
+  void detach() {
+    sinks_.clear();
+    active_ = 0;
+  }
+  bool enabled() const { return active_ > 0; }
+  std::size_t sink_count() const { return active_; }
 
   template <typename MessageFn>
   void emit(Time t, TraceCategory c, MessageFn&& fn) const {
-    if (sink_) sink_(t, c, fn());
+    if (active_ == 0) return;
+    const std::string msg = fn();
+    for (const auto& sink : sinks_)
+      if (sink) sink(t, c, msg);
   }
 
   /// A sink that appends "time [category] message" lines to `out`.
   static Sink string_sink(std::string& out);
 
  private:
-  Sink sink_;
+  std::vector<Sink> sinks_;
+  std::size_t active_ = 0;
 };
 
 }  // namespace itb::sim
