@@ -149,6 +149,7 @@ std::vector<SweepPoint> sweep(routing::Policy policy, std::uint64_t seed,
       row.num["latency_p50_ns"] = r.latency_p50_ns;
       row.num["latency_p95_ns"] = r.latency_p95_ns;
       row.num["latency_p99_ns"] = r.latency_p99_ns;
+      row.num["latency_p999_ns"] = r.latency_p999_ns;
       row.num["sends_refused"] = static_cast<double>(r.sends_refused);
       row.num["retransmissions"] = static_cast<double>(r.retransmissions);
       report->add_row("sweep", std::move(row));

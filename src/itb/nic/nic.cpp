@@ -99,6 +99,7 @@ void Nic::register_metrics(telemetry::MetricRegistry& registry) const {
   source("itb_forwarded", stats_.itb_forwarded);
   source("itb_pending_hits", stats_.itb_pending_hits);
   source("dropped_no_buffer", stats_.dropped_no_buffer);
+  source("dropped_unroutable", stats_.dropped_unroutable);
   source("rx_unknown_type", stats_.rx_unknown_type);
   source("rx_bad_crc", stats_.rx_bad_crc);
   source("rx_aborted", stats_.rx_aborted);
@@ -123,6 +124,28 @@ void Nic::send_pump() {
   ready_buffers_.pop_front();
   cpu_.post(McpPriority::kHostRequest, timing_.send_process,
             [this, ps = std::move(ps)]() mutable {
+              if (routes_[ps.dst].empty()) {
+                // post_send checked the route, but tables hot-swap on
+                // remap: a window that disconnects ps.dst empties its
+                // route while the send sits in the SRAM pipeline. Drop
+                // it here — GM's retransmission timer re-posts once a
+                // later remap restores a route (or declares the peer
+                // dead after max_retries).
+                ++stats_.dropped_unroutable;
+                set_send_dma(false);
+                if (!itb_pending_.empty()) {
+                  const auto next = itb_pending_.front();
+                  itb_pending_.pop_front();
+                  set_send_dma(true);
+                  cpu_.post(McpPriority::kItbPendingSend,
+                            timing_.itb_program_send,
+                            [this, next] { start_reinjection(next); });
+                } else {
+                  send_pump();
+                  sdma_pump();
+                }
+                return;
+              }
               auto bytes =
                   packet::build_itb_packet(routes_[ps.dst], ps.type, ps.payload);
               const std::uint64_t token = ps.token;

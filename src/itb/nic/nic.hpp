@@ -72,6 +72,7 @@ struct NicStats {
   std::uint64_t itb_forwarded = 0;      // re-injections performed
   std::uint64_t itb_pending_hits = 0;   // ITB found send DMA busy
   std::uint64_t dropped_no_buffer = 0;  // drop_when_full discards
+  std::uint64_t dropped_unroutable = 0;  // route emptied by a remap mid-send
   std::uint64_t rx_unknown_type = 0;    // e.g. ITB packet at original MCP
   std::uint64_t rx_bad_crc = 0;         // corrupted packets discarded
   std::uint64_t rx_aborted = 0;         // receptions lost mid-flight

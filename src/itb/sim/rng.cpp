@@ -69,6 +69,45 @@ double Rng::next_exponential(double mean) {
   return -mean * std::log(u);
 }
 
+double Rng::next_normal() {
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  double u1;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+double Rng::next_lognormal(double mean, double sigma) {
+  // mu chosen so E[exp(mu + sigma Z)] = mean.
+  const double mu = std::log(mean) - sigma * sigma / 2.0;
+  return std::exp(mu + sigma * next_normal());
+}
+
+double Rng::next_bounded_pareto(double mean, double alpha, double cap) {
+  // Inverse-CDF draw on [1, cap], rescaled by the closed-form mean of the
+  // unit-scale bounded Pareto so the result has mean exactly `mean`.
+  const double ha = std::pow(cap, -alpha);
+  double u;
+  do {
+    u = next_double();
+  } while (u >= 1.0);
+  const double x = std::pow(1.0 - u * (1.0 - ha), -1.0 / alpha);
+  const double unit_mean = alpha / (alpha - 1.0) *
+                           (1.0 - std::pow(cap, 1.0 - alpha)) / (1.0 - ha);
+  return x * (mean / unit_mean);
+}
+
 Rng Rng::split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) {
+  // Whiten both inputs through SplitMix64 so adjacent stream ids land in
+  // unrelated regions of the seed space.
+  std::uint64_t x = seed;
+  const std::uint64_t a = splitmix64(x);
+  x = a ^ (stream_id + 0x9e3779b97f4a7c15ULL);
+  return Rng(splitmix64(x));
+}
 
 }  // namespace itb::sim

@@ -34,9 +34,29 @@ class Rng {
   /// Exponentially distributed value with the given mean (> 0).
   double next_exponential(double mean);
 
+  /// Standard normal deviate (Box-Muller, one value per call).
+  double next_normal();
+
+  /// Lognormal value with the given distribution mean (not mu) and shape
+  /// sigma; sigma = 0 degenerates to the constant `mean`.
+  double next_lognormal(double mean, double sigma);
+
+  /// Bounded-Pareto value with the given mean and tail index alpha
+  /// (> 0, != 1). The support is [L, cap * L] where cap > 1 bounds the
+  /// tail and L is solved so the distribution mean is exactly `mean`.
+  double next_bounded_pareto(double mean, double alpha, double cap);
+
   /// Fork an independent stream (for per-node generators that must not
   /// perturb each other's sequences when one node draws more than another).
   Rng split();
+
+  /// Counter-style decorrelated stream: hash (seed, stream_id) into an
+  /// independent generator. Unlike chained split() calls — where stream k
+  /// depends on the k-1 streams drawn before it — stream(seed, k) is a pure
+  /// function of its arguments, so per-host generators can be created in
+  /// any order (or on any worker thread) and still produce the same
+  /// sequences.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_id);
 
  private:
   std::uint64_t s_[4];

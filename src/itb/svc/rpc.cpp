@@ -1,0 +1,383 @@
+#include "itb/svc/rpc.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace itb::svc {
+
+namespace {
+
+void put_u16(packet::Bytes& b, std::size_t at, std::uint16_t v) {
+  b[at] = static_cast<std::uint8_t>(v);
+  b[at + 1] = static_cast<std::uint8_t>(v >> 8);
+}
+void put_u32(packet::Bytes& b, std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    b[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+}
+void put_u64(packet::Bytes& b, std::size_t at, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    b[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint16_t get_u16(const packet::Bytes& b, std::size_t at) {
+  return static_cast<std::uint16_t>(b[at] | (b[at + 1] << 8));
+}
+std::uint32_t get_u32(const packet::Bytes& b, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | b[at + static_cast<std::size_t>(i)];
+  return v;
+}
+std::uint64_t get_u64(const packet::Bytes& b, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) | b[at + static_cast<std::size_t>(i)];
+  return v;
+}
+
+}  // namespace
+
+packet::Bytes RpcHeader::encode(std::size_t message_bytes) const {
+  packet::Bytes b(std::max(message_bytes, kSize), 0);
+  b[0] = kind;
+  b[1] = static_cast<std::uint8_t>(cls);
+  put_u16(b, 2, client);
+  put_u32(b, 4, req_id);
+  put_u64(b, 8, issued_ns);
+  put_u64(b, 16, service_ns);
+  put_u32(b, 24, resp_bytes);
+  put_u64(b, 28, admit_wait_ns);
+  put_u64(b, 36, service_span_ns);
+  return b;
+}
+
+std::optional<RpcHeader> RpcHeader::decode(const packet::Bytes& msg) {
+  if (msg.size() < kSize) return std::nullopt;
+  RpcHeader h;
+  if (msg[0] < kRequest || msg[0] > kReject) return std::nullopt;
+  h.kind = msg[0];
+  if (msg[1] >= kPriorityClasses) return std::nullopt;
+  h.cls = static_cast<Priority>(msg[1]);
+  h.client = get_u16(msg, 2);
+  h.req_id = get_u32(msg, 4);
+  h.issued_ns = get_u64(msg, 8);
+  h.service_ns = get_u64(msg, 16);
+  h.resp_bytes = get_u32(msg, 24);
+  h.admit_wait_ns = get_u64(msg, 28);
+  h.service_span_ns = get_u64(msg, 36);
+  return h;
+}
+
+// --- RpcServer -------------------------------------------------------------
+
+RpcServer::RpcServer(sim::EventQueue& queue, gm::GmPort& port,
+                     const RpcServerConfig& config)
+    : queue_(queue), port_(port), config_(config),
+      admission_(queue, config.admission) {}
+
+int RpcServer::cost_of(const RpcHeader& h) const {
+  const auto extra = static_cast<int>(
+      static_cast<sim::Duration>(h.service_ns) / config_.cost_quantum);
+  return std::clamp(1 + extra, 1, config_.max_cost);
+}
+
+void RpcServer::handle_request(sim::Time t, std::uint16_t src,
+                               const RpcHeader& h) {
+  ++stats_.requests;
+  const int cost = cost_of(h);
+  const sim::Time arrived = t;
+  const auto outcome = admission_.offer(
+      h.cls, cost,
+      // Queued path: fires on admission (start the service, charging the
+      // buffer wait) or on eviction by a higher-priority arrival (NACK).
+      [this, src, h, arrived](sim::Time now, bool admitted) {
+        if (admitted) {
+          start_service(src, h, now - arrived);
+        } else {
+          RpcHeader r = h;
+          r.kind = RpcHeader::kReject;
+          ++stats_.rejects_sent;
+          send_or_queue(src, r.encode(RpcHeader::kSize));
+        }
+      });
+  if (outcome == AdmissionController::Outcome::kAdmitted) {
+    start_service(src, h, 0);
+  } else if (outcome == AdmissionController::Outcome::kRejected) {
+    RpcHeader r = h;
+    r.kind = RpcHeader::kReject;
+    ++stats_.rejects_sent;
+    send_or_queue(src, r.encode(RpcHeader::kSize));
+  }
+}
+
+void RpcServer::start_service(std::uint16_t src, RpcHeader h,
+                              sim::Duration wait) {
+  const int cost = cost_of(h);
+  h.admit_wait_ns = static_cast<std::uint64_t>(wait);
+  h.service_span_ns = h.service_ns;
+  queue_.schedule_in(
+      std::max<sim::Duration>(static_cast<sim::Duration>(h.service_ns), 1),
+      [this, src, h, cost] {
+        admission_.depart(cost);
+        respond(src, h);
+      });
+}
+
+void RpcServer::respond(std::uint16_t dst, RpcHeader h) {
+  h.kind = RpcHeader::kResponse;
+  ++stats_.responses_sent;
+  send_or_queue(dst, h.encode(h.resp_bytes));
+}
+
+void RpcServer::send_or_queue(std::uint16_t dst, packet::Bytes msg) {
+  if (port_.peer_failed(dst)) {
+    ++stats_.dead_peer_drops;
+    return;
+  }
+  if (!sendq_.empty() || !port_.send(dst, packet::Bytes(msg))) {
+    ++stats_.send_retries;
+    sendq_.emplace_back(dst, std::move(msg));
+    if (!flush_armed_) {
+      flush_armed_ = true;
+      queue_.schedule_in(config_.send_retry_gap, [this] { flush_sendq(); });
+    }
+  }
+}
+
+void RpcServer::flush_sendq() {
+  flush_armed_ = false;
+  while (!sendq_.empty()) {
+    auto& [dst, msg] = sendq_.front();
+    if (port_.peer_failed(dst)) {
+      ++stats_.dead_peer_drops;
+      sendq_.pop_front();
+      continue;
+    }
+    if (!port_.send(dst, packet::Bytes(msg))) break;
+    sendq_.pop_front();
+  }
+  if (!sendq_.empty() && !flush_armed_) {
+    flush_armed_ = true;
+    queue_.schedule_in(config_.send_retry_gap, [this] { flush_sendq(); });
+  }
+}
+
+void RpcServer::register_metrics(telemetry::MetricRegistry& registry,
+                                 int host) const {
+  telemetry::Labels labels;
+  labels.host = host;
+  auto counter = [&](const char* name, const std::uint64_t* v) {
+    registry.register_source(
+        "svc", name, telemetry::MetricKind::kCounter,
+        [v] { return static_cast<double>(*v); }, labels);
+  };
+  counter("server_requests", &stats_.requests);
+  counter("server_responses", &stats_.responses_sent);
+  counter("server_rejects", &stats_.rejects_sent);
+  counter("server_send_retries", &stats_.send_retries);
+  counter("server_dead_peer_drops", &stats_.dead_peer_drops);
+  counter("server_malformed", &stats_.malformed);
+  admission_.register_metrics(registry, host);
+}
+
+// --- RpcClient -------------------------------------------------------------
+
+RpcClient::RpcClient(sim::EventQueue& queue, gm::GmPort& port,
+                     const RpcClientConfig& config)
+    : queue_(queue), port_(port), config_(config) {}
+
+bool RpcClient::call(const CallSpec& spec) {
+  const sim::Time now = queue_.now();
+  const bool tracked =
+      now >= config_.measure_start && now <= config_.measure_end;
+  auto& cls = slo_.cls[static_cast<std::size_t>(spec.cls)];
+  if (pending_.size() >= config_.pending_limit) {
+    if (tracked) ++cls.client_refused;
+    return false;
+  }
+  if (tracked) ++cls.issued;
+  Pending p;
+  p.spec = spec;
+  p.first_issued = now;
+  p.attempt = 1;
+  p.tracked = tracked;
+  issue(next_id_++, std::move(p));
+  return true;
+}
+
+void RpcClient::issue(std::uint32_t id, Pending p) {
+  RpcHeader h;
+  h.kind = RpcHeader::kRequest;
+  h.cls = p.spec.cls;
+  h.client = port_.host();
+  h.req_id = id;
+  h.issued_ns = static_cast<std::uint64_t>(p.first_issued);
+  h.service_ns = static_cast<std::uint64_t>(p.spec.service);
+  h.resp_bytes = p.spec.resp_bytes;
+  const std::uint16_t dst = p.spec.dst;
+  const auto deadline =
+      config_.deadlines[static_cast<std::size_t>(p.spec.cls)];
+  p.deadline_ev =
+      queue_.schedule_in(deadline, [this, id] { on_deadline(id); });
+  pending_.emplace(id, std::move(p));
+  send_or_queue(dst, h.encode(config_.request_bytes));
+}
+
+void RpcClient::on_deadline(std::uint32_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  if (p.attempt <= config_.max_retries) {
+    retry(id, std::move(p));
+  } else {
+    finish_failed(p);
+  }
+}
+
+void RpcClient::retry(std::uint32_t, Pending p) {
+  if (p.tracked) ++slo_of(p).retries;
+  ++p.attempt;
+  issue(next_id_++, std::move(p));
+}
+
+void RpcClient::finish_failed(Pending& p) {
+  if (!p.tracked) return;
+  auto& cls = slo_of(p);
+  ++cls.failed;
+  ++cls.deadline_misses;
+}
+
+void RpcClient::handle_response(sim::Time t, const RpcHeader& h) {
+  auto it = pending_.find(h.req_id);
+  if (it == pending_.end()) {
+    ++slo_.cls[static_cast<std::size_t>(h.cls)].stale_responses;
+    return;
+  }
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  queue_.cancel(p.deadline_ev);
+
+  if (h.kind == RpcHeader::kReject) {
+    if (p.tracked) ++slo_of(p).rejected;
+    if (p.attempt <= config_.max_retries) {
+      if (p.tracked) ++slo_of(p).retries;
+      ++p.attempt;
+      // Back off before the re-issue; the Pending travels in the closure.
+      auto shared = std::make_shared<Pending>(std::move(p));
+      queue_.schedule_in(config_.reject_backoff, [this, shared] {
+        issue(next_id_++, std::move(*shared));
+      });
+    } else {
+      finish_failed(p);
+    }
+    return;
+  }
+
+  if (!p.tracked) return;
+  auto& cls = slo_of(p);
+  ++cls.completed;
+  const auto lat = static_cast<std::uint64_t>(t - p.first_issued);
+  const auto deadline = static_cast<std::uint64_t>(
+      config_.deadlines[static_cast<std::size_t>(p.spec.cls)]);
+  if (lat <= deadline) {
+    cls.goodput_bytes += h.resp_bytes;
+  } else {
+    ++cls.deadline_misses;
+  }
+  cls.total.record(lat);
+  cls.admit.record(h.admit_wait_ns);
+  cls.service.record(h.service_span_ns);
+  const std::uint64_t attributed = h.admit_wait_ns + h.service_span_ns;
+  cls.network.record(lat > attributed ? lat - attributed : 0);
+}
+
+void RpcClient::send_or_queue(std::uint16_t dst, packet::Bytes msg) {
+  if (port_.peer_failed(dst)) return;  // deadline timer will settle the call
+  if (!sendq_.empty() || !port_.send(dst, packet::Bytes(msg))) {
+    ++gm_backpressure_;
+    sendq_.emplace_back(dst, std::move(msg));
+    if (!flush_armed_) {
+      flush_armed_ = true;
+      queue_.schedule_in(config_.send_retry_gap, [this] { flush_sendq(); });
+    }
+  }
+}
+
+void RpcClient::flush_sendq() {
+  flush_armed_ = false;
+  while (!sendq_.empty()) {
+    auto& [dst, msg] = sendq_.front();
+    if (port_.peer_failed(dst)) {
+      sendq_.pop_front();
+      continue;
+    }
+    if (!port_.send(dst, packet::Bytes(msg))) break;
+    sendq_.pop_front();
+  }
+  if (!sendq_.empty() && !flush_armed_) {
+    flush_armed_ = true;
+    queue_.schedule_in(config_.send_retry_gap, [this] { flush_sendq(); });
+  }
+}
+
+void RpcClient::register_metrics(telemetry::MetricRegistry& registry,
+                                 int host) const {
+  telemetry::Labels labels;
+  labels.host = host;
+  for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+    const std::string suffix =
+        std::string("_") + to_string(static_cast<Priority>(c));
+    auto counter = [&](const char* name, const std::uint64_t* v) {
+      registry.register_source(
+          "svc", std::string(name) + suffix, telemetry::MetricKind::kCounter,
+          [v] { return static_cast<double>(*v); }, labels);
+    };
+    const SloClassStats& s = slo_.cls[c];
+    counter("client_issued", &s.issued);
+    counter("client_completed", &s.completed);
+    counter("client_rejected", &s.rejected);
+    counter("client_retries", &s.retries);
+    counter("client_deadline_misses", &s.deadline_misses);
+    counter("client_failed", &s.failed);
+    counter("client_goodput_bytes", &s.goodput_bytes);
+  }
+  registry.register_source(
+      "svc", "client_gm_backpressure", telemetry::MetricKind::kCounter,
+      [this] { return static_cast<double>(gm_backpressure_); }, labels);
+  registry.register_source(
+      "svc", "client_pending", telemetry::MetricKind::kGauge,
+      [this] { return static_cast<double>(pending_.size()); }, labels);
+}
+
+// --- RpcEndpoint -----------------------------------------------------------
+
+RpcEndpoint::RpcEndpoint(sim::EventQueue& queue, gm::GmPort& port,
+                         const EndpointConfig& config)
+    : port_(port),
+      server_(queue, port, config.server),
+      client_(queue, port, config.client) {
+  port_.set_receive_handler(
+      [this](sim::Time t, std::uint16_t src, packet::Bytes msg) {
+        const auto h = RpcHeader::decode(msg);
+        if (!h) {
+          ++server_.stats_.malformed;
+          return;
+        }
+        if (h->kind == RpcHeader::kRequest)
+          server_.handle_request(t, src, *h);
+        else
+          client_.handle_response(t, *h);
+      });
+}
+
+void RpcEndpoint::register_metrics(telemetry::MetricRegistry& registry) const {
+  server_.register_metrics(registry, port_.host());
+  client_.register_metrics(registry, port_.host());
+}
+
+}  // namespace itb::svc

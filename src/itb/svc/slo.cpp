@@ -1,0 +1,31 @@
+#include "itb/svc/slo.hpp"
+
+namespace itb::svc {
+
+void SloClassStats::merge(const SloClassStats& o) {
+  total.merge(o.total);
+  admit.merge(o.admit);
+  network.merge(o.network);
+  service.merge(o.service);
+  issued += o.issued;
+  completed += o.completed;
+  rejected += o.rejected;
+  retries += o.retries;
+  deadline_misses += o.deadline_misses;
+  failed += o.failed;
+  stale_responses += o.stale_responses;
+  client_refused += o.client_refused;
+  goodput_bytes += o.goodput_bytes;
+}
+
+void SloStats::merge(const SloStats& o) {
+  for (std::size_t i = 0; i < kPriorityClasses; ++i) cls[i].merge(o.cls[i]);
+}
+
+SloClassStats SloStats::combined() const {
+  SloClassStats out;
+  for (const auto& c : cls) out.merge(c);
+  return out;
+}
+
+}  // namespace itb::svc

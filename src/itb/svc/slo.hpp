@@ -1,0 +1,63 @@
+// SLO accounting for the RPC service layer.
+//
+// Every completed request's latency is split exactly into three spans the
+// layers below already measure:
+//   admission-wait — time blocked in the server's admission buffer,
+//   service        — the time the request held its service tokens,
+//   network        — everything else (GM host overheads, fabric transit,
+//                    queueing, retransmissions, client-side send queueing).
+// Histograms are per priority class and log-bucketed (bounded memory over
+// arbitrarily long soaks), so p50/p99/p999 come from the same machinery as
+// every other latency figure in the repo. Counters cover the service-level
+// outcomes: completions, deadline misses, admission rejections, retries,
+// goodput bytes. Stats merge across hosts and sweep points, which is how
+// the bench aggregates one cluster's clients into a run-level SLO row.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "itb/svc/admission.hpp"
+#include "itb/telemetry/histogram.hpp"
+
+namespace itb::svc {
+
+struct SloClassStats {
+  telemetry::LatencyHistogram total;    // call() to response, end to end
+  telemetry::LatencyHistogram admit;    // server admission-wait span
+  telemetry::LatencyHistogram network;  // total - admit - service
+  telemetry::LatencyHistogram service;  // tokens held
+  std::uint64_t issued = 0;          // tracked calls entering the client
+  std::uint64_t completed = 0;       // responses received
+  std::uint64_t rejected = 0;        // admission NACKs seen by the client
+  std::uint64_t retries = 0;         // re-issues (deadline or rejection)
+  std::uint64_t deadline_misses = 0; // completed late or never completed
+  std::uint64_t failed = 0;          // gave up: no response within retries
+  std::uint64_t stale_responses = 0; // response for a superseded attempt
+  std::uint64_t client_refused = 0;  // client pending_limit hit
+  std::uint64_t goodput_bytes = 0;   // response payload within deadline
+
+  void merge(const SloClassStats& o);
+  double deadline_miss_rate() const {
+    const std::uint64_t settled = completed + failed;
+    return settled ? static_cast<double>(deadline_misses) /
+                         static_cast<double>(settled)
+                   : 0.0;
+  }
+};
+
+struct SloStats {
+  std::array<SloClassStats, kPriorityClasses> cls;
+
+  SloClassStats& of(Priority p) { return cls[static_cast<std::size_t>(p)]; }
+  const SloClassStats& of(Priority p) const {
+    return cls[static_cast<std::size_t>(p)];
+  }
+
+  void merge(const SloStats& o);
+
+  /// All classes pooled (histograms merged, counters summed).
+  SloClassStats combined() const;
+};
+
+}  // namespace itb::svc

@@ -144,6 +144,7 @@ void write_histogram_json(JsonWriter& w, std::string_view name,
   w.kv("p50", h.percentile(50));
   w.kv("p95", h.percentile(95));
   w.kv("p99", h.percentile(99));
+  w.kv("p999", h.percentile(99.9));
   w.key("buckets");
   w.begin_array();
   for (const auto& b : h.nonzero_buckets()) {

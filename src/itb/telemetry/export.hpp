@@ -16,7 +16,8 @@
 //     "bench": "...", "params": {...}, "scalars": {...},
 //     "tables": {"<table>": [{"col": num | "text", ...}, ...]},
 //     "histograms": [{"name", "run", "count", "min", "max", "mean",
-//                     "p50", "p95", "p99", "buckets": [[lo, hi, n], ...]}],
+//                     "p50", "p95", "p99", "p999",
+//                     "buckets": [[lo, hi, n], ...]}],
 //     "counters": [{"run", "component", "name", "host"?, "channel"?,
 //                   "kind", "value"}],
 //     "series": [{"run", "name", "host"?, "channel"?, "mode", "t_ns": [...],

@@ -115,7 +115,7 @@ std::string LatencyHistogram::summary() const {
   };
   return "n=" + std::to_string(total_) + " p50=" + fmt(percentile(50)) +
          " p95=" + fmt(percentile(95)) + " p99=" + fmt(percentile(99)) +
-         " max=" + std::to_string(max_);
+         " p999=" + fmt(percentile(99.9)) + " max=" + std::to_string(max_);
 }
 
 }  // namespace itb::telemetry

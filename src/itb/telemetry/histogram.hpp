@@ -61,7 +61,7 @@ class LatencyHistogram {
   };
   std::vector<Bucket> nonzero_buckets() const;
 
-  /// Compact one-line summary ("n=.. p50=.. p95=.. p99=.. max=..").
+  /// Compact one-line summary ("n=.. p50=.. p95=.. p99=.. p999=.. max=..").
   std::string summary() const;
 
  private:

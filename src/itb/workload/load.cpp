@@ -65,13 +65,16 @@ LoadResult run_load(sim::EventQueue& queue, std::vector<gm::GmPort*> ports,
         });
   }
 
-  // One generator per host, recursive exponential arrivals.
+  // One generator per host, recursive exponential arrivals. Streams are
+  // counter-style — a pure function of (seed, host) — so host k's arrival
+  // sequence is independent of how many hosts exist or which thread builds
+  // the cluster, keeping every sweep --jobs-invariant by construction.
   struct Generator {
     sim::Rng rng{0};
   };
   std::vector<Generator> gens(n);
-  sim::Rng seeder(config.seed);
-  for (auto& g : gens) g.rng = seeder.split();
+  for (std::size_t i = 0; i < n; ++i)
+    gens[i].rng = sim::Rng::stream(config.seed, i);
 
   const unsigned rbits = bits_for(n);
   std::function<void(std::size_t)> arm = [&](std::size_t src) {
@@ -123,6 +126,7 @@ LoadResult run_load(sim::EventQueue& queue, std::vector<gm::GmPort*> ports,
   result.latency_p50_ns = result.latency_hist.percentile(50);
   result.latency_p95_ns = result.latency_hist.percentile(95);
   result.latency_p99_ns = result.latency_hist.percentile(99);
+  result.latency_p999_ns = result.latency_hist.percentile(99.9);
   for (auto* p : ports) result.retransmissions += p->stats().retransmissions;
   result.retransmissions -= base_retransmissions;
   return result;

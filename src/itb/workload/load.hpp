@@ -48,6 +48,7 @@ struct LoadResult {
   double latency_p50_ns = 0;
   double latency_p95_ns = 0;
   double latency_p99_ns = 0;
+  double latency_p999_ns = 0;
   /// Full latency distribution over the measurement window.
   telemetry::LatencyHistogram latency_hist;
   std::uint64_t messages_delivered = 0;

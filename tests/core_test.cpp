@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "itb/core/experiments.hpp"
+#include "itb/core/parallel.hpp"
 #include "itb/workload/load.hpp"
 #include "itb/workload/pingpong.hpp"
 
@@ -175,6 +176,63 @@ TEST(Load, DeterministicForSeed) {
     return workload::run_load(c.queue(), c.ports(), lc).messages_delivered;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Load, BackpressureRefusesSendsAndBoundsLatency) {
+  // A tiny GM send-token pool under absurd offered load: the runner must
+  // surface the backpressure as sends_refused (not queue unboundedly), and
+  // the latency of the messages that DO go out must stay bounded — refusal
+  // happens at call time, so accepted messages never sit in a client queue.
+  core::ClusterConfig cfg;
+  cfg.topology = topo::make_linear(2, 1);
+  cfg.gm_config.send_tokens = 2;
+  core::Cluster c(std::move(cfg));
+  workload::LoadConfig lc;
+  lc.message_bytes = 1024;
+  lc.rate_msgs_per_s = 2e5;
+  lc.warmup = 500 * sim::kUs;
+  lc.measure = 3 * sim::kMs;
+  auto result = workload::run_load(c.queue(), c.ports(), lc);
+  EXPECT_GT(result.sends_refused, 100u);
+  EXPECT_GT(result.messages_delivered, 0u);
+  // With 2 tokens x 1 KB in flight, delivery latency is a few packet times,
+  // nowhere near the measurement window.
+  EXPECT_LT(result.latency_p999_ns, 1.0 * sim::kMs);
+  EXPECT_GE(result.latency_p999_ns, result.latency_p99_ns);
+}
+
+TEST(Load, SweepResultsAreJobsInvariant) {
+  // The motivation bench's --jobs guarantee, as a regression test: each
+  // sweep point seeds per-host counter-style RNG streams, so results are
+  // bit-identical no matter how many workers run the sweep.
+  const std::vector<double> rates = {1e3, 3e3, 6e3};
+  auto run_sweep = [&](unsigned jobs) {
+    return core::run_sweep_parallel(
+        rates.size(),
+        [&](std::size_t i) {
+          core::ClusterConfig cfg;
+          cfg.topology = topo::make_fig1_network();
+          core::Cluster c(std::move(cfg));
+          workload::LoadConfig lc;
+          lc.rate_msgs_per_s = rates[i];
+          lc.warmup = 500 * sim::kUs;
+          lc.measure = 2 * sim::kMs;
+          lc.seed = 7;
+          return workload::run_load(c.queue(), c.ports(), lc);
+        },
+        jobs);
+  };
+  const auto serial = run_sweep(1);
+  const auto parallel = run_sweep(3);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].messages_delivered, parallel[i].messages_delivered);
+    EXPECT_EQ(serial[i].sends_refused, parallel[i].sends_refused);
+    EXPECT_DOUBLE_EQ(serial[i].latency_mean_ns, parallel[i].latency_mean_ns);
+    EXPECT_DOUBLE_EQ(serial[i].latency_p999_ns, parallel[i].latency_p999_ns);
+    EXPECT_DOUBLE_EQ(serial[i].accepted_bytes_per_s,
+                     parallel[i].accepted_bytes_per_s);
+  }
 }
 
 TEST(Load, PatternsAreSupported) {

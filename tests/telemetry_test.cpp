@@ -91,6 +91,20 @@ TEST(LatencyHistogram, EdgeCases) {
   EXPECT_EQ(h.count(), 2u);
 }
 
+TEST(LatencyHistogram, P999TrackedAndSummarized) {
+  telemetry::LatencyHistogram h;
+  for (int i = 1; i <= 10000; ++i) h.record(i);
+  // Within the documented 0.4% relative-error bound.
+  EXPECT_NEAR(h.percentile(99.9), 9990.0, 0.004 * 9990.0);
+  EXPECT_NE(h.summary().find("p999="), std::string::npos);
+
+  telemetry::LatencyHistogram empty;
+  EXPECT_EQ(empty.percentile(99.9), 0.0);
+  telemetry::LatencyHistogram one;
+  one.record(77);
+  EXPECT_EQ(one.percentile(99.9), 77.0);
+}
+
 TEST(LatencyHistogram, MergeAndBuckets) {
   telemetry::LatencyHistogram a, b;
   a.record(100, 5);
