@@ -5,33 +5,9 @@
 
 namespace itb::net {
 
-struct Network::Worm {
-  TxHandle handle = 0;
-  packet::Bytes bytes;
-  std::uint16_t src_host = 0;
-  std::uint16_t dst_host = 0;   // set once the head reaches the final NIC
-  sim::Time injected_at = 0;
-  std::optional<sim::Time> data_ready_opt;
-  sim::Time data_ready = 0;     // resolved at injection grant
-  sim::Duration pipe_ns = 0;    // fixed per-hop latency the head has paid
-  std::size_t orig_len = 0;
-  std::vector<topo::Channel> held;
-  std::optional<topo::Channel> waiting_on;  // parked in this channel's queue
-  sim::Time tail_time = -1;     // set once the head reaches the final NIC
-  bool rx_started = false;      // on_rx_head fired at the destination
-  bool tx_signaled = false;     // on_tx_complete / on_tx_dropped fired
-  bool done = false;
-  // Pending events, cancelled if a fault kills the worm mid-flight.
-  sim::EventId pending;         // next head hop / tail arrival
-  sim::EventId early_event;     // early-header callback
-  sim::EventId src_done_event;  // source on_tx_complete
-};
-
 std::vector<Network::WormWait> Network::wait_snapshot() const {
   std::vector<WormWait> snap;
-  for (const auto& wp : worms_) {
-    const Worm* w = wp.get();
-    if (w->done) continue;
+  for (const Worm* w = live_head_; w; w = w->live_next) {
     WormWait s;
     s.handle = w->handle;
     s.src_host = w->src_host;
@@ -41,7 +17,7 @@ std::vector<Network::WormWait> Network::wait_snapshot() const {
       s.blocked = true;
       s.waiting_on = *w->waiting_on;
       s.waiting_channel_busy = channels_[channel_index(*w->waiting_on)].busy;
-      const auto target = topo_.channel_target(*w->waiting_on);
+      const auto target = channel_target_[channel_index(*w->waiting_on)];
       if (target.node.kind == topo::NodeKind::kHost) {
         const std::uint16_t h = target.node.index;
         const bool fault_gate =
@@ -60,9 +36,8 @@ std::vector<Network::WormWait> Network::wait_snapshot() const {
 
 std::optional<TxHandle> Network::oldest_blocked() const {
   const Worm* best = nullptr;
-  for (const auto& wp : worms_) {
-    const Worm* w = wp.get();
-    if (w->done || !w->waiting_on) continue;
+  for (const Worm* w = live_head_; w; w = w->live_next) {
+    if (!w->waiting_on) continue;
     if (!best || w->injected_at < best->injected_at ||
         (w->injected_at == best->injected_at && w->handle < best->handle))
       best = w;
@@ -72,9 +47,8 @@ std::optional<TxHandle> Network::oldest_blocked() const {
 }
 
 bool Network::force_eject(TxHandle h) {
-  for (const auto& wp : worms_) {
-    Worm* w = wp.get();
-    if (w->handle != h || w->done) continue;
+  for (Worm* w = live_head_; w; w = w->live_next) {
+    if (w->handle != h) continue;
     const topo::Channel at = w->waiting_on.value_or(
         w->held.empty() ? topo::Channel{} : w->held.back());
     kill_worm(w, at, "forced ejection", /*fault=*/false);
@@ -84,8 +58,8 @@ bool Network::force_eject(TxHandle h) {
 }
 
 std::optional<Network::RxPeek> Network::peek_rx(TxHandle h) const {
-  for (const auto& w : worms_) {
-    if (w->handle == h && !w->done && w->tail_time >= 0)
+  for (const Worm* w = live_head_; w; w = w->live_next) {
+    if (w->handle == h && w->tail_time >= 0)
       return RxPeek{&w->bytes, w->tail_time};
   }
   return std::nullopt;
@@ -98,9 +72,50 @@ Network::Network(const topo::Topology& topo, const NetTiming& timing,
       queue_(queue),
       tracer_(tracer),
       hooks_(topo.host_count(), nullptr),
-      rx_ready_(topo.host_count(), true),
+      rx_ready_(topo.host_count(), 1),
       channels_(topo.link_count() * 2),
-      channel_busy_(topo.link_count() * 2, 0) {}
+      channel_busy_(topo.link_count() * 2, 0),
+      host_out_channel_(topo.host_count(), -1),
+      host_in_channel_(topo.host_count(), -1) {
+  // Build the dense per-channel caches. The Topology is immutable for the
+  // Network's life, so every Topology::link_at scan the hot path used to do
+  // per hop collapses into one array read here.
+  for (std::size_t s = 0; s < topo_.switch_count(); ++s)
+    max_ports_ =
+        std::max<std::uint32_t>(max_ports_, topo_.switch_spec(s).ports);
+  for (topo::LinkId l = 0; l < topo_.link_count(); ++l) {
+    const auto& lk = topo_.link(l);
+    max_ports_ = std::max<std::uint32_t>(
+        max_ports_, std::uint32_t{std::max(lk.a.port, lk.b.port)} + 1u);
+  }
+  out_channel_.assign(
+      (topo_.switch_count() + topo_.host_count()) * max_ports_, -1);
+  channel_target_.resize(topo_.link_count() * 2);
+  channel_is_lan_.assign(topo_.link_count() * 2, 0);
+  channel_gate_host_.assign(topo_.link_count() * 2, -1);
+  for (topo::LinkId l = 0; l < topo_.link_count(); ++l) {
+    const auto& lk = topo_.link(l);
+    const auto fwd = static_cast<std::int32_t>(2 * l);
+    const auto rev = fwd + 1;
+    out_channel_[node_slot(lk.a.node) * max_ports_ + lk.a.port] = fwd;
+    out_channel_[node_slot(lk.b.node) * max_ports_ + lk.b.port] = rev;
+    channel_target_[fwd] = lk.b;
+    channel_target_[rev] = lk.a;
+    channel_is_lan_[fwd] = channel_is_lan_[rev] =
+        lk.kind == topo::PortKind::kLan ? 1 : 0;
+    if (lk.a.node.kind == topo::NodeKind::kHost) {
+      host_out_channel_[lk.a.node.index] = fwd;
+      host_in_channel_[lk.a.node.index] = rev;
+      channel_gate_host_[rev] = lk.a.node.index;
+    }
+    if (lk.b.node.kind == topo::NodeKind::kHost) {
+      host_out_channel_[lk.b.node.index] = rev;
+      host_in_channel_[lk.b.node.index] = fwd;
+      channel_gate_host_[fwd] = lk.b.node.index;
+    }
+  }
+  early_scratch_.reserve(4);
+}
 
 Network::~Network() = default;
 
@@ -110,15 +125,54 @@ void Network::attach_host(std::uint16_t host, HostHooks* hooks) {
   hooks_[host] = hooks;
 }
 
-std::optional<topo::Channel> Network::channel_out(topo::NodeId from,
-                                                  std::uint8_t port) const {
-  auto lid = topo_.link_at(from, port);
-  if (!lid) return std::nullopt;
-  const auto& l = topo_.link(*lid);
-  // Forward means a->b; we leave through `port` on `from`, so the channel
-  // is forward iff (from, port) is the a end. Port matters for self-cables.
-  const bool fwd = l.a.node == from && l.a.port == port;
-  return topo::Channel{*lid, fwd};
+void Network::live_insert(Worm* w) {
+  w->live_prev = live_tail_;
+  w->live_next = nullptr;
+  if (live_tail_)
+    live_tail_->live_next = w;
+  else
+    live_head_ = w;
+  live_tail_ = w;
+}
+
+void Network::live_remove(Worm* w) {
+  if (w->live_prev)
+    w->live_prev->live_next = w->live_next;
+  else
+    live_head_ = w->live_next;
+  if (w->live_next)
+    w->live_next->live_prev = w->live_prev;
+  else
+    live_tail_ = w->live_prev;
+  w->live_prev = w->live_next = nullptr;
+}
+
+void Network::waiter_push(ChannelState& st, Worm* w) {
+  w->wait_prev = st.wait_tail;
+  w->wait_next = nullptr;
+  if (st.wait_tail)
+    st.wait_tail->wait_next = w;
+  else
+    st.wait_head = w;
+  st.wait_tail = w;
+}
+
+Network::Worm* Network::waiter_pop(ChannelState& st) {
+  Worm* w = st.wait_head;
+  if (w) waiter_unlink(st, w);
+  return w;
+}
+
+void Network::waiter_unlink(ChannelState& st, Worm* w) {
+  if (w->wait_prev)
+    w->wait_prev->wait_next = w->wait_next;
+  else
+    st.wait_head = w->wait_next;
+  if (w->wait_next)
+    w->wait_next->wait_prev = w->wait_prev;
+  else
+    st.wait_tail = w->wait_prev;
+  w->wait_prev = w->wait_next = nullptr;
 }
 
 TxHandle Network::inject(std::uint16_t host, packet::Bytes bytes,
@@ -126,22 +180,38 @@ TxHandle Network::inject(std::uint16_t host, packet::Bytes bytes,
   if (host >= hooks_.size() || !hooks_[host])
     throw std::logic_error("inject from unattached host");
   if (bytes.empty()) throw std::invalid_argument("empty packet");
+  const std::int32_t entry_idx = host_out_channel_[host];
+  if (entry_idx < 0) throw std::logic_error("host has no uplink");
 
-  auto worm = std::make_unique<Worm>();
-  Worm* w = worm.get();
+  // The pooled worm may carry recycled state (warm reuse): reset every
+  // field. Move-assigning bytes frees nothing — the previous life's buffer
+  // was moved out at delivery — and held keeps its capacity.
+  auto [self, w] = worm_pool_.acquire();
   w->handle = next_handle_++;
   w->bytes = std::move(bytes);
+  w->route_off = 0;
   w->src_host = host;
+  w->dst_host = 0;
   w->injected_at = queue_.now();
   w->data_ready_opt = data_ready;
+  w->data_ready = 0;
+  w->pipe_ns = 0;
   w->orig_len = w->bytes.size();
-  worms_.push_back(std::move(worm));
+  w->held.clear();
+  w->waiting_on.reset();
+  w->tail_time = -1;
+  w->rx_started = false;
+  w->tx_signaled = false;
+  w->done = false;
+  w->pending = {};
+  w->early_event = {};
+  w->src_done_event = {};
+  w->self = self;
+  live_insert(w);
   ++live_worms_;
   ++stats_.injected;
   if (activity_hook_) activity_hook_();
 
-  auto entry = channel_out(topo::host_id(host), 0);
-  if (!entry) throw std::logic_error("host has no uplink");
   if (flight_)
     flight_->record(flight::EventType::kInject, queue_.now(), w->handle, host,
                     w->orig_len);
@@ -150,25 +220,24 @@ TxHandle Network::inject(std::uint16_t host, packet::Bytes bytes,
            std::to_string(w->handle) + " " + packet::describe(w->bytes);
   });
   const TxHandle handle = w->handle;
-  request_channel(w, *entry);
+  request_channel(w, channel_from_index(static_cast<std::uint32_t>(entry_idx)));
   return handle;
 }
 
 void Network::set_host_rx_ready(std::uint16_t host, bool ready) {
-  rx_ready_.at(host) = ready;
+  rx_ready_.at(host) = ready ? 1 : 0;
   // A waiter may have been parked on the (free) channel into this host.
   if (ready) rearbitrate_host(host);
 }
 
 bool Network::host_rx_ready(std::uint16_t host) const {
-  return rx_ready_.at(host);
+  return rx_ready_.at(host) != 0;
 }
 
 void Network::rearbitrate_host(std::uint16_t host) {
-  const auto up = topo_.host_uplink(host);
-  // Channel into the host: leaves the switch through the uplink port.
-  auto into = channel_out(up.node, up.port);
-  if (into) arbitrate(*into);
+  if (host >= host_in_channel_.size()) return;
+  const std::int32_t into = host_in_channel_[host];
+  if (into >= 0) arbitrate(channel_from_index(static_cast<std::uint32_t>(into)));
 }
 
 bool Network::host_gate_closed(topo::Endpoint target) const {
@@ -188,9 +257,7 @@ void Network::on_link_state(topo::LinkId link, bool up) {
       arbitrate(c);
       continue;
     }
-    while (!st.waiters.empty()) {
-      Worm* v = st.waiters.front();
-      st.waiters.pop_front();
+    while (Worm* v = waiter_pop(st)) {
       v->waiting_on.reset();
       kill_worm(v, c, "link down");
     }
@@ -204,14 +271,14 @@ void Network::request_channel(Worm* w, topo::Channel c) {
     kill_worm(w, c, "channel unusable");
     return;
   }
-  auto& st = channels_[channel_index(c)];
-  if (st.busy || host_gate_closed(topo_.channel_target(c)) ||
-      !st.waiters.empty()) {
+  const std::uint32_t idx = channel_index(c);
+  auto& st = channels_[idx];
+  if (st.busy || gate_closed_idx(idx) || st.wait_head) {
     ++stats_.head_blocks;
     if (flight_)
       flight_->record(flight::EventType::kHeadBlock, queue_.now(), w->handle,
                       w->src_host, channel_index(c));
-    st.waiters.push_back(w);
+    waiter_push(st, w);
     w->waiting_on = c;
     return;
   }
@@ -239,7 +306,7 @@ void Network::grant_channel(Worm* w, topo::Channel c) {
   // The head crosses the link: propagation plus one byte of transmission.
   const sim::Duration hop = timing_.link_latency_ns + timing_.byte_time(1);
   w->pipe_ns += hop;
-  const auto arrival = topo_.channel_target(c);
+  const auto arrival = channel_target_[channel_index(c)];
   w->pending =
       queue_.schedule_in(hop, [this, w, arrival] { head_at_node(w, arrival); });
 }
@@ -247,18 +314,15 @@ void Network::grant_channel(Worm* w, topo::Channel c) {
 void Network::arbitrate(topo::Channel c) {
   auto& st = channels_[channel_index(c)];
   if (fault_hook_ && !fault_hook_->channel_usable(c)) {
-    while (!st.waiters.empty()) {
-      Worm* v = st.waiters.front();
-      st.waiters.pop_front();
+    while (Worm* v = waiter_pop(st)) {
       v->waiting_on.reset();
       kill_worm(v, c, "channel unusable");
     }
     return;
   }
-  if (st.busy || st.waiters.empty()) return;
-  if (host_gate_closed(topo_.channel_target(c))) return;
-  Worm* next = st.waiters.front();
-  st.waiters.pop_front();
+  if (st.busy || !st.wait_head) return;
+  if (gate_closed_idx(channel_index(c))) return;
+  Worm* next = waiter_pop(st);
   grant_channel(next, c);
 }
 
@@ -269,14 +333,19 @@ void Network::head_at_node(Worm* w, topo::Endpoint arrival) {
     return;
   }
 
-  // A switch: consume the leading route byte to pick the output port.
-  if (w->bytes.empty() || !packet::is_route_byte(w->bytes[0])) {
+  // A switch: consume the leading route byte to pick the output port. The
+  // byte is consumed by advancing route_off — the prefix is erased in one
+  // step when the head reaches the destination NIC, not per hop.
+  if (w->route_off >= w->bytes.size() ||
+      !packet::is_route_byte(w->bytes[w->route_off])) {
     drop(w, "no route byte at switch");
     return;
   }
-  const std::uint8_t out_port = packet::consume_route_byte(w->bytes);
-  auto out = channel_out(arrival.node, out_port);
-  if (!out) {
+  const std::uint8_t out_port =
+      packet::decode_route_byte(w->bytes[w->route_off]);
+  ++w->route_off;
+  const std::int32_t out_idx = out_channel_idx(arrival.node, out_port);
+  if (out_idx < 0) {
     drop(w, "route byte names a dangling port");
     return;
   }
@@ -284,10 +353,9 @@ void Network::head_at_node(Worm* w, topo::Endpoint arrival) {
   // Fall-through latency: base plus the LAN penalty for each LAN port
   // crossed (the incoming link and the outgoing link each count, §5).
   sim::Duration ft = timing_.switch_fallthrough_ns;
-  const auto& in_link = topo_.link(w->held.back().link);
-  if (in_link.kind == topo::PortKind::kLan) ft += timing_.lan_port_penalty_ns;
-  if (topo_.link(out->link).kind == topo::PortKind::kLan)
+  if (channel_is_lan_[channel_index(w->held.back())])
     ft += timing_.lan_port_penalty_ns;
+  if (channel_is_lan_[out_idx]) ft += timing_.lan_port_penalty_ns;
   w->pipe_ns += ft;
 
   if (flight_)
@@ -298,8 +366,10 @@ void Network::head_at_node(Worm* w, topo::Endpoint arrival) {
            std::to_string(arrival.node.index) + " -> port " +
            std::to_string(out_port);
   });
+  const topo::Channel out =
+      channel_from_index(static_cast<std::uint32_t>(out_idx));
   w->pending =
-      queue_.schedule_in(ft, [this, w, out = *out] { request_channel(w, out); });
+      queue_.schedule_in(ft, [this, w, out] { request_channel(w, out); });
 }
 
 void Network::complete_at_host(Worm* w, std::uint16_t host,
@@ -308,6 +378,12 @@ void Network::complete_at_host(Worm* w, std::uint16_t host,
   if (!hooks) {
     drop(w, "destination host not attached");
     return;
+  }
+  // Shed the route bytes the switches consumed — one erase for the whole
+  // path instead of one memmove per hop — before any callback can look.
+  if (w->route_off) {
+    w->bytes.erase(w->bytes.begin(), w->bytes.begin() + w->route_off);
+    w->route_off = 0;
   }
   w->dst_host = host;
   w->rx_started = true;
@@ -318,15 +394,16 @@ void Network::complete_at_host(Worm* w, std::uint16_t host,
 
   const auto len = static_cast<std::int64_t>(w->bytes.size());
   // Early Recv trigger: the LANai raises it when the first 4 bytes are in
-  // SRAM (§4).
+  // SRAM (§4). The snapshot is taken when the event fires — the worm is
+  // still alive (the tail lands no earlier, and a kill cancels this event)
+  // and its bytes are untouched until the tail — so the closure carries no
+  // allocation, just the worm pointer.
   const sim::Time early = head_arrival + timing_.byte_time(std::min<std::int64_t>(len, 4) - 1);
-  packet::Bytes head4(w->bytes.begin(),
-                      w->bytes.begin() + std::min<std::int64_t>(len, 4));
-  const TxHandle handle = w->handle;
-  w->early_event =
-      queue_.schedule_at(early, [this, hooks, handle, head4 = std::move(head4)] {
-        hooks->on_rx_early_header(queue_.now(), handle, head4);
-      });
+  w->early_event = queue_.schedule_at(early, [this, hooks, w] {
+    const auto n = std::min<std::size_t>(w->bytes.size(), 4);
+    early_scratch_.assign(w->bytes.begin(), w->bytes.begin() + n);
+    hooks->on_rx_early_header(queue_.now(), w->handle, early_scratch_);
+  });
 
   // Tail arrival: pipeline behind the head, but never before the source
   // even had the data (virtual cut-through coupling).
@@ -369,7 +446,7 @@ void Network::complete_at_host(Worm* w, std::uint16_t host,
     });
     WirePacket pkt{w->handle, std::move(w->bytes), w->src_host, w->injected_at};
     release_channels(w);
-    finish_worm(w);
+    finish_worm(w);  // recycles w — only locals below
     if (lost) {
       hooks->on_rx_aborted(queue_.now(), pkt.handle);
     } else {
@@ -380,16 +457,18 @@ void Network::complete_at_host(Worm* w, std::uint16_t host,
 
 void Network::release_channels(Worm* w) {
   for (auto c : w->held) {
-    auto& st = channels_[channel_index(c)];
+    const auto idx = channel_index(c);
+    auto& st = channels_[idx];
     st.busy = false;
     st.owner = nullptr;
-    channel_busy_[channel_index(c)] += queue_.now() - st.busy_since;
+    channel_busy_[idx] += queue_.now() - st.busy_since;
   }
   // Grant to waiters only after every channel is marked free; arbitration
-  // may kill a waiter (fault window), which releases further channels.
-  std::vector<topo::Channel> freed;
-  freed.swap(w->held);
-  for (auto c : freed) arbitrate(c);
+  // may kill a waiter (fault window), which releases further channels —
+  // never this worm's, so indexed iteration over held stays valid. held is
+  // cleared (keeping its capacity) rather than swapped away.
+  for (std::size_t i = 0; i < w->held.size(); ++i) arbitrate(w->held[i]);
+  w->held.clear();
 }
 
 void Network::drop(Worm* w, const char* why) {
@@ -413,8 +492,7 @@ void Network::kill_worm(Worm* w, topo::Channel at, const char* why,
   queue_.cancel(w->early_event);
   queue_.cancel(w->src_done_event);
   if (w->waiting_on) {
-    auto& st = channels_[channel_index(*w->waiting_on)];
-    std::erase(st.waiters, w);
+    waiter_unlink(channels_[channel_index(*w->waiting_on)], w);
     w->waiting_on.reset();
   }
   ++stats_.lost;
@@ -437,7 +515,7 @@ void Network::kill_worm(Worm* w, topo::Channel at, const char* why,
   const bool notify_rx = w->rx_started;
   w->tx_signaled = true;
   release_channels(w);
-  finish_worm(w);  // may free w (compaction) — only locals below
+  finish_worm(w);  // recycles w — only locals below
   if (notify_tx && hooks_[src]) hooks_[src]->on_tx_dropped(queue_.now(), handle);
   if (notify_rx && hooks_[dst]) hooks_[dst]->on_rx_aborted(queue_.now(), handle);
 }
@@ -445,10 +523,10 @@ void Network::kill_worm(Worm* w, topo::Channel at, const char* why,
 void Network::finish_worm(Worm* w) {
   w->done = true;
   --live_worms_;
-  // Compact occasionally so long runs don't accumulate dead worms.
-  if (worms_.size() > 64 && live_worms_ < worms_.size() / 2) {
-    std::erase_if(worms_, [](const std::unique_ptr<Worm>& p) { return p->done; });
-  }
+  live_remove(w);
+  // Return the worm to the pool. Warm recycling keeps the held vector's
+  // capacity for the next life; any handle kept past this point goes stale.
+  worm_pool_.release(w->self);
 }
 
 void Network::register_metrics(telemetry::MetricRegistry& registry) const {
@@ -463,6 +541,15 @@ void Network::register_metrics(telemetry::MetricRegistry& registry) const {
   source("head_blocks", stats_.head_blocks);
   source("faults_injected", stats_.faults_injected);
   source("lost", stats_.lost);
+  registry.register_source(
+      "net", "worm_pool_live", telemetry::MetricKind::kGauge,
+      [this] { return static_cast<double>(worm_pool_.live()); });
+  registry.register_source(
+      "net", "worm_pool_high_water", telemetry::MetricKind::kGauge,
+      [this] { return static_cast<double>(worm_pool_.high_water()); });
+  registry.register_source(
+      "net", "worm_pool_capacity", telemetry::MetricKind::kGauge,
+      [this] { return static_cast<double>(worm_pool_.capacity()); });
   for (std::size_t c = 0; c < channel_busy_.size(); ++c)
     registry.register_source(
         "net", "channel_busy_ns", telemetry::MetricKind::kGauge,

@@ -29,7 +29,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -39,6 +38,7 @@
 #include "itb/net/timing.hpp"
 #include "itb/net/wire_packet.hpp"
 #include "itb/sim/event_queue.hpp"
+#include "itb/sim/slab_pool.hpp"
 #include "itb/sim/trace.hpp"
 #include "itb/telemetry/metrics.hpp"
 #include "itb/topo/topology.hpp"
@@ -227,12 +227,52 @@ class Network {
   std::optional<RxPeek> peek_rx(TxHandle h) const;
 
  private:
-  struct Worm;
+  /// One in-flight transmission. Worms live in a SlabPool: acquired on
+  /// inject, released on any terminal fate, recycled WARM so the bytes and
+  /// held vectors keep their capacities — the steady state allocates
+  /// nothing. Slab storage never moves, so the raw Worm* kept by channel
+  /// owners and event closures stays valid for the worm's whole life.
+  struct Worm {
+    TxHandle handle = 0;
+    packet::Bytes bytes;
+    std::uint32_t route_off = 0;  // route bytes consumed so far (the bytes
+                                  // themselves are erased once, at the
+                                  // destination NIC, not per hop)
+    std::uint16_t src_host = 0;
+    std::uint16_t dst_host = 0;  // set once the head reaches the final NIC
+    sim::Time injected_at = 0;
+    std::optional<sim::Time> data_ready_opt;
+    sim::Time data_ready = 0;   // resolved at injection grant
+    sim::Duration pipe_ns = 0;  // fixed per-hop latency the head has paid
+    std::size_t orig_len = 0;
+    std::vector<topo::Channel> held;
+    std::optional<topo::Channel> waiting_on;  // parked in this channel's queue
+    sim::Time tail_time = -1;  // set once the head reaches the final NIC
+    bool rx_started = false;   // on_rx_head fired at the destination
+    bool tx_signaled = false;  // on_tx_complete / on_tx_dropped fired
+    bool done = false;
+    // Pending events, cancelled if a fault kills the worm mid-flight.
+    sim::EventId pending;         // next head hop / tail arrival
+    sim::EventId early_event;     // early-header callback
+    sim::EventId src_done_event;  // source on_tx_complete
+    // Intrusive links: the network-wide live list (insertion order) and the
+    // FIFO waiter queue of the channel named by waiting_on.
+    Worm* live_prev = nullptr;
+    Worm* live_next = nullptr;
+    Worm* wait_prev = nullptr;
+    Worm* wait_next = nullptr;
+    sim::PoolHandle self;  // this worm's own pool slot
+  };
+
+  /// Per directed channel. Waiters are an intrusive doubly-linked FIFO
+  /// threaded through the worms themselves (a worm waits on at most one
+  /// channel), replacing the per-channel std::deque.
   struct ChannelState {
     bool busy = false;
     sim::Time busy_since = 0;
     Worm* owner = nullptr;  // holder while busy (kill target on link-down)
-    std::deque<Worm*> waiters;
+    Worm* wait_head = nullptr;
+    Worm* wait_tail = nullptr;
   };
 
   const topo::Topology& topo_;
@@ -244,24 +284,65 @@ class Network {
   flight::FlightRecorder* flight_ = nullptr;
   std::function<void()> activity_hook_;
 
-  std::vector<HostHooks*> hooks_;     // by host index
-  std::vector<bool> rx_ready_;        // by host index
+  std::vector<HostHooks*> hooks_;       // by host index
+  std::vector<std::uint8_t> rx_ready_;  // by host index (byte, not
+                                        // vector<bool>: the host gate reads
+                                        // this on every channel request)
   std::vector<ChannelState> channels_;  // by channel index
   std::vector<sim::Duration> channel_busy_;
-  std::vector<std::unique_ptr<Worm>> worms_;
+  sim::SlabPool<Worm> worm_pool_;
+  Worm* live_head_ = nullptr;  // in-flight worms, injection order
+  Worm* live_tail_ = nullptr;
   std::size_t live_worms_ = 0;
   TxHandle next_handle_ = 1;
+  packet::Bytes early_scratch_;  // reused 4-byte Early-Recv snapshot
+
+  // Dense topology caches, built once in the constructor (the Topology is
+  // immutable for the Network's life). Indexed by channel index, they turn
+  // the per-hop O(links) Topology::link_at scan into one array read.
+  std::uint32_t max_ports_ = 1;
+  std::vector<std::int32_t> out_channel_;  // [node_slot * max_ports_ + port]
+                                           // -> channel index, -1 dangling
+  std::vector<topo::Endpoint> channel_target_;  // per channel index
+  std::vector<std::uint8_t> channel_is_lan_;    // per channel index
+  std::vector<std::int32_t> channel_gate_host_;  // host the channel enters,
+                                                 // -1 if it enters a switch
+  std::vector<std::int32_t> host_out_channel_;  // host uplink, -1 unattached
+  std::vector<std::int32_t> host_in_channel_;   // into host, -1 unattached
 
   static std::uint32_t channel_index(topo::Channel c) {
     return 2 * c.link + (c.forward ? 0 : 1);
   }
+  static topo::Channel channel_from_index(std::uint32_t idx) {
+    return topo::Channel{idx >> 1, (idx & 1u) == 0};
+  }
+  std::size_t node_slot(topo::NodeId n) const {
+    return (n.kind == topo::NodeKind::kHost ? topo_.switch_count() : 0) +
+           n.index;
+  }
+  /// Channel leaving `from` through `port`; -1 if dangling.
+  std::int32_t out_channel_idx(topo::NodeId from, std::uint8_t port) const {
+    if (port >= max_ports_) return -1;
+    return out_channel_[node_slot(from) * max_ports_ + port];
+  }
 
-  /// Directed channel leaving `from` through `port`; nullopt if dangling.
-  std::optional<topo::Channel> channel_out(topo::NodeId from,
-                                           std::uint8_t port) const;
+  // Intrusive-list plumbing.
+  void live_insert(Worm* w);
+  void live_remove(Worm* w);
+  static void waiter_push(ChannelState& st, Worm* w);
+  static Worm* waiter_pop(ChannelState& st);
+  static void waiter_unlink(ChannelState& st, Worm* w);
 
   /// The host gate: rx-buffer backpressure or a NIC-stall fault window.
   bool host_gate_closed(topo::Endpoint target) const;
+  /// Same gate keyed by channel index — one table read on the request path.
+  bool gate_closed_idx(std::uint32_t channel_idx) const {
+    const std::int32_t h = channel_gate_host_[channel_idx];
+    if (h < 0) return false;
+    if (!rx_ready_[static_cast<std::size_t>(h)]) return true;
+    return fault_hook_ &&
+           !fault_hook_->host_accepting(static_cast<std::uint16_t>(h));
+  }
 
   void request_channel(Worm* w, topo::Channel c);
   void grant_channel(Worm* w, topo::Channel c);

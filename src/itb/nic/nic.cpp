@@ -40,7 +40,12 @@ std::uint64_t Nic::post_send(std::uint16_t dst, packet::Bytes payload,
   if (auto* fr = network_.flight_recorder())
     fr->record(flight::EventType::kSendPost, queue_.now(), token, host_, token,
                static_cast<std::uint8_t>(type));
-  host_queue_.push_back(PostedSend{token, dst, type, std::move(payload)});
+  auto [h, ps] = send_pool_.acquire();
+  ps->token = token;
+  ps->dst = dst;
+  ps->type = type;
+  ps->payload = std::move(payload);
+  host_queue_.push_back(h);
   sdma_pump();
   return token;
 }
@@ -53,18 +58,17 @@ void Nic::sdma_pump() {
   if (host_queue_.empty() || occupied >= options_.send_buffers) return;
 
   ++sdma_in_flight_;
-  PostedSend ps = std::move(host_queue_.front());
-  host_queue_.pop_front();
-  cpu_.post(McpPriority::kSdma, timing_.sdma_process,
-            [this, ps = std::move(ps)]() mutable {
-              const auto bytes = static_cast<std::int64_t>(ps.payload.size());
-              pci_.dma(bytes, [this, ps = std::move(ps)]() mutable {
-                --sdma_in_flight_;
-                ready_buffers_.push_back(std::move(ps));
-                send_pump();
-                sdma_pump();
-              });
-            });
+  const sim::PoolHandle h = host_queue_.take_front();
+  cpu_.post(McpPriority::kSdma, timing_.sdma_process, [this, h] {
+    const auto bytes =
+        static_cast<std::int64_t>(send_pool_.get(h)->payload.size());
+    pci_.dma(bytes, [this, h] {
+      --sdma_in_flight_;
+      ready_buffers_.push_back(h);
+      send_pump();
+      sdma_pump();
+    });
+  });
 }
 
 void Nic::set_send_dma(bool busy) {
@@ -115,60 +119,89 @@ void Nic::register_metrics(telemetry::MetricRegistry& registry) const {
   registry.register_source(
       "nic", "rx_busy_ns", telemetry::MetricKind::kGauge,
       [this] { return static_cast<double>(rx_busy_ns()); }, labels);
+  registry.register_source(
+      "nic", "send_pool_high_water", telemetry::MetricKind::kGauge,
+      [this] { return static_cast<double>(send_pool_.high_water()); }, labels);
 }
 
 void Nic::send_pump() {
   if (send_dma_busy_ || ready_buffers_.empty()) return;
   set_send_dma(true);
-  PostedSend ps = std::move(ready_buffers_.front());
-  ready_buffers_.pop_front();
-  cpu_.post(McpPriority::kHostRequest, timing_.send_process,
-            [this, ps = std::move(ps)]() mutable {
-              if (routes_[ps.dst].empty()) {
-                // post_send checked the route, but tables hot-swap on
-                // remap: a window that disconnects ps.dst empties its
-                // route while the send sits in the SRAM pipeline. Drop
-                // it here — GM's retransmission timer re-posts once a
-                // later remap restores a route (or declares the peer
-                // dead after max_retries).
-                ++stats_.dropped_unroutable;
-                set_send_dma(false);
-                if (!itb_pending_.empty()) {
-                  const auto next = itb_pending_.front();
-                  itb_pending_.pop_front();
-                  set_send_dma(true);
-                  cpu_.post(McpPriority::kItbPendingSend,
-                            timing_.itb_program_send,
-                            [this, next] { start_reinjection(next); });
-                } else {
-                  send_pump();
-                  sdma_pump();
-                }
-                return;
-              }
-              auto bytes =
-                  packet::build_itb_packet(routes_[ps.dst], ps.type, ps.payload);
-              const std::uint64_t token = ps.token;
-              queue_.schedule_in(
-                  timing_.cycles(timing_.send_dma_start),
-                  [this, token, bytes = std::move(bytes)]() mutable {
-                    const auto h = network_.inject(host_, std::move(bytes));
-                    tx_tokens_[h] = token;
-                    if (auto* fr = network_.flight_recorder())
-                      fr->record(flight::EventType::kTxBind, queue_.now(), h,
-                                 host_, token);
-                    ++stats_.sent;
-                  });
-            });
+  const sim::PoolHandle sh = ready_buffers_.take_front();
+  cpu_.post(McpPriority::kHostRequest, timing_.send_process, [this, sh] {
+    PostedSend& ps = *send_pool_.get(sh);
+    if (routes_[ps.dst].empty()) {
+      // post_send checked the route, but tables hot-swap on
+      // remap: a window that disconnects ps.dst empties its
+      // route while the send sits in the SRAM pipeline. Drop
+      // it here — GM's retransmission timer re-posts once a
+      // later remap restores a route (or declares the peer
+      // dead after max_retries).
+      send_pool_.release(sh);
+      ++stats_.dropped_unroutable;
+      set_send_dma(false);
+      if (!itb_pending_.empty()) {
+        const auto next = itb_pending_.take_front();
+        set_send_dma(true);
+        cpu_.post(McpPriority::kItbPendingSend, timing_.itb_program_send,
+                  [this, next] { start_reinjection(next); });
+      } else {
+        send_pump();
+        sdma_pump();
+      }
+      return;
+    }
+    auto bytes = packet::build_itb_packet(routes_[ps.dst], ps.type, ps.payload);
+    const std::uint64_t token = ps.token;
+    send_pool_.release(sh);  // payload consumed; buffer recycles warm
+    queue_.schedule_in(timing_.cycles(timing_.send_dma_start),
+                       [this, token, bytes = std::move(bytes)]() mutable {
+                         const auto h = network_.inject(host_, std::move(bytes));
+                         tx_live_.push_back(TxRec{h, token, 0, false});
+                         if (auto* fr = network_.flight_recorder())
+                           fr->record(flight::EventType::kTxBind, queue_.now(),
+                                      h, host_, token);
+                         ++stats_.sent;
+                       });
+  });
 }
 
 // --------------------------------------------------------------- receive --
+
+Nic::TxRec* Nic::find_tx(net::TxHandle h) {
+  for (TxRec& r : tx_live_)
+    if (r.handle == h) return &r;
+  return nullptr;
+}
+
+void Nic::erase_tx(TxRec* rec) {
+  if (rec != &tx_live_.back()) *rec = std::move(tx_live_.back());
+  tx_live_.pop_back();
+}
+
+Nic::RxRec* Nic::find_rx(net::TxHandle h) {
+  for (RxRec& r : rx_recs_)
+    if (r.handle == h) return &r;
+  return nullptr;
+}
+
+Nic::RxRec& Nic::rx_rec(net::TxHandle h) {
+  if (RxRec* r = find_rx(h)) return *r;
+  rx_recs_.emplace_back();
+  rx_recs_.back().handle = h;
+  return rx_recs_.back();
+}
+
+void Nic::erase_rx(RxRec* rec) {
+  if (rec != &rx_recs_.back()) *rec = std::move(rx_recs_.back());
+  rx_recs_.pop_back();
+}
 
 void Nic::on_rx_head(sim::Time t, net::TxHandle h) {
   if (rx_reserved_ >= options_.recv_buffers) {
     // Only reachable in drop_when_full mode: with backpressure the network
     // never grants the final channel while we are out of buffers.
-    rx_doomed_.insert(h);
+    rx_rec(h).doomed = true;
     return;
   }
   if (rx_reserved_++ == 0) rx_busy_since_ = t;
@@ -179,7 +212,7 @@ void Nic::on_rx_head(sim::Time t, net::TxHandle h) {
 void Nic::on_rx_early_header(sim::Time t, net::TxHandle h,
                              const packet::Bytes& head4) {
   if (!options_.itb_support || !options_.early_recv) return;
-  if (rx_doomed_.contains(h)) return;
+  if (RxRec* r = find_rx(h); r && r->doomed) return;
 
   // The LANai raised the Early Recv Packet event; its handler probes the
   // type field — only the 2-byte type fits in the 4-byte snapshot. The
@@ -187,7 +220,7 @@ void Nic::on_rx_early_header(sim::Time t, net::TxHandle h,
   // on the MCP CPU.
   auto type = packet::peek_type(head4);
   const bool is_itb = type == packet::PacketType::kItb;
-  if (is_itb) itb_claimed_.insert(h);
+  if (is_itb) rx_rec(h).claimed = true;
   if (auto* fr = network_.flight_recorder())
     fr->record(flight::EventType::kEarlyRecv, t, h, host_, 0, is_itb ? 1 : 0);
 
@@ -219,25 +252,26 @@ void Nic::start_reinjection(net::TxHandle h) {
   // Packet content: still streaming in (peek) or fully received (stash).
   packet::Bytes stripped;
   sim::Time data_ready;
-  if (auto it = itb_stash_.find(h); it != itb_stash_.end()) {
-    stripped = packet::strip_itb_stage(it->second.bytes);
+  RxRec* rec = find_rx(h);
+  if (rec && rec->stashed) {
+    stripped = packet::strip_itb_stage(rec->stash.bytes);
     data_ready = queue_.now();
-    itb_stash_.erase(it);
+    rec->stashed = false;
+    rec->stash = net::WirePacket{};  // bytes no longer needed
   } else if (auto peek = network_.peek_rx(h)) {
     stripped = packet::strip_itb_stage(*peek->bytes);
     data_ready = peek->tail_time;
   } else {
     // The packet was lost (fault injection) between detection and DMA
-    // programming; on_rx_aborted already released its receive buffer.
-    // Release the send DMA and resume normal service.
+    // programming; on_rx_aborted already released its receive buffer (and
+    // erased the record). Release the send DMA and resume normal service.
     tracer_.emit(queue_.now(), sim::TraceCategory::kMcp, [&] {
       return "h" + std::to_string(host_) + " ITB rx" + std::to_string(h) +
              " lost before re-injection";
     });
     set_send_dma(false);
     if (!itb_pending_.empty()) {
-      const auto next = itb_pending_.front();
-      itb_pending_.pop_front();
+      const auto next = itb_pending_.take_front();
       set_send_dma(true);
       cpu_.post(McpPriority::kItbPendingSend, timing_.itb_program_send,
                 [this, next] { start_reinjection(next); });
@@ -246,7 +280,8 @@ void Nic::start_reinjection(net::TxHandle h) {
     }
     return;
   }
-  itb_injected_.insert(h);
+  // The reception is live (stash or peek succeeded), so its record is too.
+  rec->injected = true;
   ++stats_.itb_forwarded;
   tracer_.emit(queue_.now(), sim::TraceCategory::kMcp, [&] {
     return "h" + std::to_string(host_) + " re-injecting ITB rx" +
@@ -257,8 +292,7 @@ void Nic::start_reinjection(net::TxHandle h) {
       [this, h, data_ready, stripped = std::move(stripped)]() mutable {
         const auto nh =
             network_.inject(host_, std::move(stripped), data_ready);
-        reinjections_.insert(nh);
-        reinject_of_[nh] = h;
+        tx_live_.push_back(TxRec{nh, 0, h, true});
         if (auto* fr = network_.flight_recorder())
           fr->record(flight::EventType::kReinject, queue_.now(), nh, host_, h);
       });
@@ -268,20 +302,23 @@ void Nic::on_rx_complete(sim::Time, net::WirePacket packet) {
   ++stats_.received;
   const auto h = packet.handle;
 
-  if (rx_doomed_.erase(h) > 0) {
-    ++stats_.dropped_no_buffer;
-    tracer_.emit(queue_.now(), sim::TraceCategory::kNic, [&] {
-      return "h" + std::to_string(host_) + " dropped rx" + std::to_string(h) +
-             " (no buffer)";
-    });
-    return;
-  }
-
-  if (itb_claimed_.contains(h)) {
-    // Handled (or queued) by the Early Recv path. Keep the bytes around if
+  if (RxRec* r = find_rx(h)) {
+    if (r->doomed) {
+      erase_rx(r);
+      ++stats_.dropped_no_buffer;
+      tracer_.emit(queue_.now(), sim::TraceCategory::kNic, [&] {
+        return "h" + std::to_string(host_) + " dropped rx" + std::to_string(h) +
+               " (no buffer)";
+      });
+      return;
+    }
+    // Claimed (or queued) by the Early Recv path. Keep the bytes around if
     // the re-injection has not started yet; the receive buffer stays in
     // use until the re-injection's send completes.
-    if (!itb_injected_.contains(h)) itb_stash_[h] = std::move(packet);
+    if (!r->injected) {
+      r->stash = std::move(packet);
+      r->stashed = true;
+    }
     return;
   }
 
@@ -309,8 +346,10 @@ void Nic::on_rx_complete(sim::Time, net::WirePacket packet) {
                 if (auto* fr = network_.flight_recorder())
                   fr->record(flight::EventType::kEarlyRecv, queue_.now(), h,
                              host_, 0, 2);
-                itb_claimed_.insert(h);
-                itb_stash_[h] = std::move(packet);
+                RxRec& rec = rx_rec(h);
+                rec.claimed = true;
+                rec.stash = std::move(packet);
+                rec.stashed = true;
                 if (send_dma_busy_) {
                   ++stats_.itb_pending_hits;
                   itb_pending_.push_back(h);
@@ -377,22 +416,22 @@ void Nic::on_tx_started(sim::Time, net::TxHandle) {}
 
 void Nic::on_tx_complete(sim::Time, net::TxHandle h) {
   cpu_.post(McpPriority::kSendComplete, timing_.send_complete, [this, h] {
-    if (reinjections_.erase(h) > 0) {
-      const auto orig = reinject_of_.at(h);
-      reinject_of_.erase(h);
-      itb_claimed_.erase(orig);
-      itb_injected_.erase(orig);
-      free_recv_buffer();  // the ITB packet's receive buffer
-    } else if (auto it = tx_tokens_.find(h); it != tx_tokens_.end()) {
-      const auto token = it->second;
-      tx_tokens_.erase(it);
-      if (client_) client_->on_send_complete(queue_.now(), token);
+    if (TxRec* tx = find_tx(h)) {
+      if (tx->is_reinject) {
+        const auto orig = tx->reinject_of;
+        erase_tx(tx);
+        if (RxRec* r = find_rx(orig)) erase_rx(r);
+        free_recv_buffer();  // the ITB packet's receive buffer
+      } else {
+        const auto token = tx->token;
+        erase_tx(tx);
+        if (client_) client_->on_send_complete(queue_.now(), token);
+      }
     }
     set_send_dma(false);
     if (!itb_pending_.empty()) {
       // Pending ITB packets beat normal sends (Fig. 5, high priority).
-      const auto next = itb_pending_.front();
-      itb_pending_.pop_front();
+      const auto next = itb_pending_.take_front();
       set_send_dma(true);
       cpu_.post(McpPriority::kItbPendingSend, timing_.itb_program_send,
                 [this, next] { start_reinjection(next); });
@@ -405,25 +444,29 @@ void Nic::on_tx_complete(sim::Time, net::TxHandle h) {
 
 void Nic::on_rx_aborted(sim::Time, net::TxHandle h) {
   ++stats_.rx_aborted;
-  if (rx_doomed_.erase(h) > 0) return;  // no buffer was reserved
-  if (itb_injected_.contains(h)) return;  // re-injection owns the buffer now
-  itb_claimed_.erase(h);
-  itb_stash_.erase(h);
-  std::erase(itb_pending_, h);
+  RxRec* r = find_rx(h);
+  if (r && r->doomed) {  // no buffer was reserved
+    erase_rx(r);
+    return;
+  }
+  if (r && r->injected) return;  // re-injection owns the buffer now
+  if (r) erase_rx(r);
+  itb_pending_.erase_value(h);
   free_recv_buffer();
 }
 
 void Nic::on_tx_dropped(sim::Time, net::TxHandle h) {
   // Clean up bookkeeping for a transmission the network discarded.
   cpu_.post(McpPriority::kSendComplete, timing_.send_complete, [this, h] {
-    if (reinjections_.erase(h) > 0) {
-      const auto orig = reinject_of_.at(h);
-      reinject_of_.erase(h);
-      itb_claimed_.erase(orig);
-      itb_injected_.erase(orig);
-      free_recv_buffer();
-    } else {
-      tx_tokens_.erase(h);
+    if (TxRec* tx = find_tx(h)) {
+      if (tx->is_reinject) {
+        const auto orig = tx->reinject_of;
+        erase_tx(tx);
+        if (RxRec* r = find_rx(orig)) erase_rx(r);
+        free_recv_buffer();
+      } else {
+        erase_tx(tx);
+      }
     }
     set_send_dma(false);
     send_pump();

@@ -26,11 +26,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "itb/host/pci.hpp"
@@ -38,6 +35,8 @@
 #include "itb/nic/lanai.hpp"
 #include "itb/packet/format.hpp"
 #include "itb/routing/table.hpp"
+#include "itb/sim/flat_fifo.hpp"
+#include "itb/sim/slab_pool.hpp"
 #include "itb/telemetry/metrics.hpp"
 
 namespace itb::nic {
@@ -173,11 +172,38 @@ class Nic final : public net::HostHooks {
   void on_rx_aborted(sim::Time t, net::TxHandle h) override;
 
  private:
+  /// One host send in the SDMA/SRAM pipeline. Lives in `send_pool_` so the
+  /// MCP closures capture a 16-byte {this, handle} instead of the payload
+  /// vector, and the payload buffer is recycled warm across sends.
   struct PostedSend {
-    std::uint64_t token;
-    std::uint16_t dst;
-    packet::PacketType type;
+    std::uint64_t token = 0;
+    std::uint16_t dst = 0;
+    packet::PacketType type = packet::PacketType::kGm;
     packet::Bytes payload;
+  };
+
+  /// In-flight transmission bookkeeping: one record per handle until its
+  /// tx completes or drops. The population is bounded by the SRAM send
+  /// buffers plus re-injections in flight (a handful), so a flat vector
+  /// with linear lookup and swap-remove beats a hash map.
+  struct TxRec {
+    net::TxHandle handle = 0;
+    std::uint64_t token = 0;        // host send: completion token
+    net::TxHandle reinject_of = 0;  // re-injection: the original reception
+    bool is_reinject = false;
+  };
+
+  /// Receive-side special states. Normal receptions never get a record;
+  /// one is created when a packet is doomed (drop_when_full) or claimed as
+  /// ITB, and erased when its buffer is released. Bounded by recv_buffers
+  /// plus the ITB pending queue, so flat + swap-remove again.
+  struct RxRec {
+    net::TxHandle handle = 0;
+    bool doomed = false;    // arrived with no free buffer; discard at tail
+    bool claimed = false;   // Early Recv identified an ITB packet
+    bool injected = false;  // re-injection has started (owns the rx buffer)
+    bool stashed = false;   // completed before re-injection; bytes kept
+    net::WirePacket stash;
   };
 
   // SDMA: pull host sends into SRAM send buffers.
@@ -190,6 +216,13 @@ class Nic final : public net::HostHooks {
   void forward_itb(net::TxHandle h);
   void start_reinjection(net::TxHandle h);
   void free_recv_buffer();
+
+  TxRec* find_tx(net::TxHandle h);
+  void erase_tx(TxRec* rec);
+  RxRec* find_rx(net::TxHandle h);
+  /// Find-or-create (fresh handles get a zeroed record).
+  RxRec& rx_rec(net::TxHandle h);
+  void erase_rx(RxRec* rec);
 
   sim::EventQueue& queue_;
   sim::Tracer& tracer_;
@@ -205,26 +238,22 @@ class Nic final : public net::HostHooks {
   std::vector<std::vector<packet::Route>> routes_;  // by destination host
 
   // Send path.
-  std::deque<PostedSend> host_queue_;       // waiting for SDMA
-  std::deque<PostedSend> ready_buffers_;    // SRAM buffers ready to send
+  sim::SlabPool<PostedSend, 64> send_pool_;
+  sim::FlatFifo<sim::PoolHandle> host_queue_;      // waiting for SDMA
+  sim::FlatFifo<sim::PoolHandle> ready_buffers_;   // SRAM, ready to send
   int sdma_in_flight_ = 0;                  // host DMA transfers running
   bool send_dma_busy_ = false;
   sim::Time send_dma_since_ = 0;            // busy-window start
   sim::Duration send_dma_busy_ns_ = 0;      // closed busy windows
   std::uint64_t next_token_ = 1;
-  std::unordered_map<net::TxHandle, std::uint64_t> tx_tokens_;
+  std::vector<TxRec> tx_live_;              // in-flight transmissions
 
   // Receive path.
-  int rx_reserved_ = 0;                            // buffers in use
-  sim::Time rx_busy_since_ = 0;                    // occupancy-window start
-  sim::Duration rx_busy_ns_ = 0;                   // closed occupancy windows
-  std::unordered_set<net::TxHandle> rx_doomed_;    // drop_when_full victims
-  std::unordered_set<net::TxHandle> itb_claimed_;  // handled by Early Recv
-  std::unordered_set<net::TxHandle> itb_injected_; // re-injection started
-  std::deque<net::TxHandle> itb_pending_;          // waiting for send DMA
-  std::unordered_map<net::TxHandle, net::WirePacket> itb_stash_;  // completed
-  std::unordered_set<net::TxHandle> reinjections_;  // our ITB re-injections
-  std::unordered_map<net::TxHandle, net::TxHandle> reinject_of_;
+  int rx_reserved_ = 0;                     // buffers in use
+  sim::Time rx_busy_since_ = 0;             // occupancy-window start
+  sim::Duration rx_busy_ns_ = 0;            // closed occupancy windows
+  std::vector<RxRec> rx_recs_;              // doomed / ITB receptions
+  sim::FlatFifo<net::TxHandle> itb_pending_;  // waiting for send DMA
 };
 
 }  // namespace itb::nic

@@ -8,17 +8,14 @@ namespace itb::sim {
 
 namespace {
 
-constexpr std::uint64_t pack(std::uint32_t slot, std::uint32_t gen) {
-  return (static_cast<std::uint64_t>(slot) << 32) | gen;
-}
-
 constexpr std::uint32_t bucket_of(Time at, std::uint32_t mask) {
   return static_cast<std::uint32_t>(static_cast<std::uint64_t>(at) & mask);
 }
 
 }  // namespace
 
-EventQueue::EventQueue() : wheel_(kWheelSize, kNoSlot) {}
+EventQueue::EventQueue()
+    : wheel_(kWheelSize, kNoSlot), wheel_tail_(kWheelSize, kNoSlot) {}
 
 std::uint32_t EventQueue::alloc_slot() {
   if (free_head_ != kNoSlot) {
@@ -40,13 +37,44 @@ void EventQueue::free_slot(std::uint32_t slot) {
 }
 
 void EventQueue::push_wheel(std::uint32_t slot) {
+  // Append: schedule order is seq order, so each bucket list stays sorted
+  // by seq and fire_next can pop the head without scanning.
   Slot& s = slots_[slot];
   const std::uint32_t b = bucket_of(s.at, kWheelSize - 1);
   s.in_wheel = true;
-  s.prev = kNoSlot;
-  s.next = wheel_[b];
-  if (s.next != kNoSlot) slots_[s.next].prev = slot;
-  wheel_[b] = slot;
+  s.next = kNoSlot;
+  s.prev = wheel_tail_[b];
+  if (s.prev != kNoSlot)
+    slots_[s.prev].next = slot;
+  else
+    wheel_[b] = slot;
+  wheel_tail_[b] = slot;
+  occupied_[b >> 6] |= 1ull << (b & 63);
+  summary_ |= 1ull << (b >> 6);
+}
+
+void EventQueue::push_wheel_ordered(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  const std::uint32_t b = bucket_of(s.at, kWheelSize - 1);
+  // A migrated event predates (seq-wise) anything scheduled after the
+  // window reached it, so walk from the tail to its sorted spot — almost
+  // always the tail itself, or an empty bucket.
+  std::uint32_t after = wheel_tail_[b];
+  while (after != kNoSlot && slots_[after].seq > s.seq)
+    after = slots_[after].prev;
+  s.in_wheel = true;
+  s.prev = after;
+  if (after == kNoSlot) {
+    s.next = wheel_[b];
+    wheel_[b] = slot;
+  } else {
+    s.next = slots_[after].next;
+    slots_[after].next = slot;
+  }
+  if (s.next != kNoSlot)
+    slots_[s.next].prev = slot;
+  else
+    wheel_tail_[b] = slot;
   occupied_[b >> 6] |= 1ull << (b & 63);
   summary_ |= 1ull << (b >> 6);
 }
@@ -58,7 +86,10 @@ void EventQueue::unlink_wheel(std::uint32_t slot) {
     wheel_[b] = s.next;
   else
     slots_[s.prev].next = s.next;
-  if (s.next != kNoSlot) slots_[s.next].prev = s.prev;
+  if (s.next == kNoSlot)
+    wheel_tail_[b] = s.prev;
+  else
+    slots_[s.next].prev = s.prev;
   if (wheel_[b] == kNoSlot) clear_bucket_bit(b);
 }
 
@@ -79,7 +110,7 @@ void EventQueue::migrate() {
     const std::uint32_t slot = heap_.front().slot;
     std::pop_heap(heap_.begin(), heap_.end(), RefLater{});
     heap_.pop_back();
-    push_wheel(slot);
+    push_wheel_ordered(slot);
   }
 }
 
@@ -101,17 +132,12 @@ std::uint32_t EventQueue::find_bucket(Time from) const {
   return (w << 6) + static_cast<std::uint32_t>(std::countr_zero(occupied_[w]));
 }
 
-EventId EventQueue::schedule_at(Time at, Action action) {
-  if (at < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
-  const std::uint32_t slot = alloc_slot();
-  Slot& s = slots_[slot];
-  s.at = at;
-  s.seq = next_seq_++;
-  s.action = std::move(action);
+void EventQueue::enqueue_ready(std::uint32_t slot, Time at) {
   if (at - wbase_ < kWheelSpan) {
     push_wheel(slot);
     ++stats_.wheel_scheduled;
   } else {
+    Slot& s = slots_[slot];
     heap_.push_back(Ref{at, s.seq, slot, s.gen});
     std::push_heap(heap_.begin(), heap_.end(), RefLater{});
     ++stats_.spill_scheduled;
@@ -119,7 +145,6 @@ EventId EventQueue::schedule_at(Time at, Action action) {
   ++live_;
   ++stats_.scheduled;
   if (live_ > stats_.peak_pending) stats_.peak_pending = live_;
-  return EventId{pack(slot, s.gen)};
 }
 
 bool EventQueue::cancel(EventId id) {
@@ -156,16 +181,10 @@ EventQueue::Next EventQueue::fire_next(Time limit) {
       continue;  // migrate() pulls it into the wheel
     }
 
-    // Every listed slot is live; pick the smallest (at, seq) — exact FIFO
-    // tie-break regardless of insertion order.
-    std::uint32_t best = wheel_[b];
-    for (std::uint32_t cur = slots_[best].next; cur != kNoSlot;
-         cur = slots_[cur].next) {
-      const Slot& c = slots_[cur];
-      const Slot& bst = slots_[best];
-      if (c.at < bst.at || (c.at == bst.at && c.seq < bst.seq)) best = cur;
-    }
-
+    // Bucket lists are kept sorted by seq (append on schedule, ordered
+    // insert on migrate) and hold a single timestamp, so the head IS the
+    // smallest (at, seq) — exact FIFO tie-break in O(1).
+    const std::uint32_t best = wheel_[b];
     Slot& chosen = slots_[best];
     if (chosen.at > limit) return Next::kBeyond;
     unlink_wheel(best);
@@ -215,6 +234,7 @@ void EventQueue::reset() {
         cur = nxt;
       }
       wheel_[b] = kNoSlot;
+      wheel_tail_[b] = kNoSlot;
     }
   }
   for (const Ref& r : heap_)

@@ -26,6 +26,7 @@
 
 #include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "itb/sim/inline_function.hpp"
@@ -71,11 +72,25 @@ class EventQueue {
   bool empty() const { return pending() == 0; }
 
   /// Schedule `action` to run at absolute time `at` (must be >= now()).
-  EventId schedule_at(Time at, Action action);
+  /// Templated so the closure is constructed directly inside its event slot
+  /// — no intermediate Action object, no relocate on the schedule path.
+  template <typename F>
+  EventId schedule_at(Time at, F&& action) {
+    if (at < now_)
+      throw std::invalid_argument("EventQueue: scheduling in the past");
+    const std::uint32_t slot = alloc_slot();
+    Slot& s = slots_[slot];
+    s.at = at;
+    s.seq = next_seq_++;
+    s.action = std::forward<F>(action);
+    enqueue_ready(slot, at);
+    return EventId{(static_cast<std::uint64_t>(slot) << 32) | s.gen};
+  }
 
   /// Schedule `action` to run `delay` ns from now.
-  EventId schedule_in(Duration delay, Action action) {
-    return schedule_at(now_ + delay, std::move(action));
+  template <typename F>
+  EventId schedule_in(Duration delay, F&& action) {
+    return schedule_at(now_ + delay, std::forward<F>(action));
   }
 
   /// Cancel a previously scheduled event. Returns false if it already fired
@@ -137,9 +152,16 @@ class EventQueue {
 
   std::uint32_t alloc_slot();
   void free_slot(std::uint32_t slot);
+  /// Second half of schedule_at: file the freshly filled slot into the
+  /// wheel or the spill heap and update the bookkeeping.
+  void enqueue_ready(std::uint32_t slot, Time at);
   bool stale(const Ref& r) const { return slots_[r.slot].gen != r.gen; }
 
   void push_wheel(std::uint32_t slot);
+  /// push_wheel for migrated spill refs: inserts by (at, seq) so the bucket
+  /// list stays FIFO-sorted even when an older (smaller-seq) spilled event
+  /// joins a bucket that already has same-time events.
+  void push_wheel_ordered(std::uint32_t slot);
   void unlink_wheel(std::uint32_t slot);
   void clear_bucket_bit(std::uint32_t b);
   /// Move spilled refs whose time entered the wheel window into the wheel.
@@ -162,6 +184,10 @@ class EventQueue {
   std::uint32_t free_head_ = kNoSlot;
 
   std::vector<std::uint32_t> wheel_;       // kWheelSize bucket list heads
+  /// Bucket list tails: push_wheel appends, so each bucket stays sorted by
+  /// seq and fire_next pops the head in O(1) — no min-scan. (A bucket only
+  /// ever holds one timestamp: the wheel window spans exactly kWheelSize ns.)
+  std::vector<std::uint32_t> wheel_tail_;
   /// Two-level occupancy bitmap: occupied_[w] has one bit per bucket,
   /// summary_ has one bit per word. find_bucket() is O(1): at most three
   /// word reads instead of a walk over empty buckets. Wheel bits are

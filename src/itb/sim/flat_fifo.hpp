@@ -1,0 +1,97 @@
+// Flat ring-buffer FIFO.
+//
+// Drop-in replacement for the std::deque<T> queues on the simulator's hot
+// paths (NIC SDMA/SRAM stages, ITB pending queue). A deque allocates and
+// frees 512-byte map chunks as elements churn; FlatFifo keeps one contiguous
+// power-of-two array and wraps indices, so a warmed-up queue never touches
+// the heap again and every element access is one cache line of arithmetic.
+//
+// Growth doubles the array and re-linearises the elements (amortised O(1)
+// push); capacity is never given back. erase_value() exists for the rare
+// cleanup paths (an aborted reception leaving the ITB pending queue) and
+// compacts in FIFO order in O(n).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace itb::sim {
+
+template <typename T>
+class FlatFifo {
+ public:
+  FlatFifo() = default;
+
+  bool empty() const { return head_ == tail_; }
+  std::size_t size() const { return tail_ - head_; }
+  std::size_t capacity() const { return buf_.size(); }
+
+  void push_back(T v) {
+    if (size() == buf_.size()) grow();
+    buf_[index(tail_++)] = std::move(v);
+  }
+
+  T& front() { return buf_[index(head_)]; }
+  const T& front() const { return buf_[index(head_)]; }
+
+  void pop_front() { ++head_; }
+
+  /// Move the front element out and pop it in one step.
+  T take_front() {
+    T v = std::move(front());
+    pop_front();
+    return v;
+  }
+
+  /// i-th element from the front (0 == front()).
+  T& operator[](std::size_t i) { return buf_[index(head_ + i)]; }
+  const T& operator[](std::size_t i) const { return buf_[index(head_ + i)]; }
+
+  bool contains(const T& v) const {
+    for (std::size_t i = 0; i < size(); ++i)
+      if ((*this)[i] == v) return true;
+    return false;
+  }
+
+  /// Remove every element equal to `v`, preserving FIFO order of the rest.
+  /// Returns the number removed.
+  std::size_t erase_value(const T& v) {
+    std::size_t kept = 0, removed = 0;
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      T& e = (*this)[i];
+      if (e == v) {
+        ++removed;
+        continue;
+      }
+      if (kept != i) (*this)[kept] = std::move(e);
+      ++kept;
+    }
+    tail_ = head_ + kept;
+    return removed;
+  }
+
+  void clear() { head_ = tail_ = 0; }
+
+ private:
+  std::size_t index(std::uint64_t pos) const {
+    return static_cast<std::size_t>(pos & (buf_.size() - 1));
+  }
+
+  void grow() {
+    const std::size_t n = size();
+    std::vector<T> next(buf_.empty() ? 8 : buf_.size() * 2);
+    for (std::size_t i = 0; i < n; ++i) next[i] = std::move((*this)[i]);
+    buf_ = std::move(next);
+    head_ = 0;
+    tail_ = n;
+  }
+
+  std::vector<T> buf_;
+  std::uint64_t head_ = 0;  // monotonic positions; masked into buf_
+  std::uint64_t tail_ = 0;
+};
+
+}  // namespace itb::sim

@@ -46,7 +46,7 @@ class InlineFunction<R(Args...), InlineBytes> {
 
   InlineFunction(InlineFunction&& other) noexcept {
     if (other.ops_) {
-      other.ops_->relocate(storage_, other.storage_);
+      relocate_from(other);
       ops_ = std::exchange(other.ops_, nullptr);
     }
   }
@@ -55,9 +55,28 @@ class InlineFunction<R(Args...), InlineBytes> {
     if (this != &other) {
       reset();
       if (other.ops_) {
-        other.ops_->relocate(storage_, other.storage_);
+        relocate_from(other);
         ops_ = std::exchange(other.ops_, nullptr);
       }
+    }
+    return *this;
+  }
+
+  /// Assign a fresh callable in place — no temporary InlineFunction, no
+  /// relocate hop. This is the schedule path: the closure is built directly
+  /// inside the event slot it will fire from.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction& operator=(F&& f) {
+    reset();
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
     }
     return *this;
   }
@@ -69,7 +88,7 @@ class InlineFunction<R(Args...), InlineBytes> {
 
   void reset() noexcept {
     if (ops_) {
-      ops_->destroy(storage_);
+      if (ops_->destroy) ops_->destroy(storage_);
       ops_ = nullptr;
     }
   }
@@ -90,7 +109,11 @@ class InlineFunction<R(Args...), InlineBytes> {
   struct Ops {
     R (*invoke)(void* storage, Args&&... args);
     // Move-construct the callable into dst from src, then destroy src.
+    // nullptr means trivially relocatable: memcpy the whole buffer instead
+    // of an indirect call (the hot scheduling closures — a few pointers and
+    // scalars — all take this path).
     void (*relocate)(void* dst, void* src) noexcept;
+    // nullptr means trivially destructible: nothing to do on reset.
     void (*destroy)(void* storage) noexcept;
     bool inline_storage;
   };
@@ -103,8 +126,21 @@ class InlineFunction<R(Args...), InlineBytes> {
   }
 
   template <typename D>
+  static constexpr bool trivial_inline() {
+    return fits_inline<D>() && std::is_trivially_copyable_v<D> &&
+           std::is_trivially_destructible_v<D>;
+  }
+
+  template <typename D>
   static D* as(void* storage) {
     return std::launder(reinterpret_cast<D*>(storage));
+  }
+
+  void relocate_from(InlineFunction& other) noexcept {
+    if (other.ops_->relocate)
+      other.ops_->relocate(storage_, other.storage_);
+    else
+      __builtin_memcpy(storage_, other.storage_, InlineBytes);
   }
 
   template <typename D>
@@ -112,12 +148,14 @@ class InlineFunction<R(Args...), InlineBytes> {
       [](void* s, Args&&... args) -> R {
         return (*as<D>(s))(std::forward<Args>(args)...);
       },
-      [](void* dst, void* src) noexcept {
-        D* f = as<D>(src);
-        ::new (dst) D(std::move(*f));
-        f->~D();
-      },
-      [](void* s) noexcept { as<D>(s)->~D(); },
+      trivial_inline<D>() ? nullptr
+                          : +[](void* dst, void* src) noexcept {
+                              D* f = as<D>(src);
+                              ::new (dst) D(std::move(*f));
+                              f->~D();
+                            },
+      trivial_inline<D>() ? nullptr
+                          : +[](void* s) noexcept { as<D>(s)->~D(); },
       true,
   };
 

@@ -1,0 +1,147 @@
+// Slab object pool with generation-checked handles.
+//
+// The hot simulation loop used to pay a general-purpose heap round trip per
+// simulated object (one make_unique<Worm> per packet, one PostedSend node
+// per NIC send). SlabPool replaces that with O(1) acquire/release against
+// fixed-size slabs:
+//
+//   * Storage is a list of slabs, each holding kSlabSize default-constructed
+//     objects. Slabs are never freed or moved, so T* stays stable for the
+//     life of the pool — holders may keep raw pointers to live objects.
+//   * Objects are recycled WARM: release() does not destroy the object and
+//     acquire() does not re-construct it. A recycled object keeps whatever
+//     state — in particular whatever vector capacities — its previous life
+//     left behind, which is exactly what makes the steady state
+//     allocation-free. Callers reset the fields they care about.
+//   * Handles are {slot, generation}: release bumps the slot's generation,
+//     so a stale handle (kept past release) is detected — get() returns
+//     nullptr and release() returns false instead of corrupting a recycled
+//     object.
+//   * Telemetry: live(), capacity(), slab_count() and high_water() are O(1)
+//     gauges; register them where the owning component publishes metrics.
+//
+// Free-list order is LIFO (the hottest object, cache-wise, is reused first)
+// and fully deterministic, so pooled simulations stay bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace itb::sim {
+
+inline constexpr std::uint32_t kPoolNullSlot = UINT32_MAX;
+
+/// Generation-checked reference to a pooled object. Default-constructed
+/// handles are null. A handle outliving its object's release is stale:
+/// get() returns nullptr and release() returns false. Deliberately not a
+/// nested type so holders can store handles without naming (or
+/// instantiating) the pool's full type.
+struct PoolHandle {
+  std::uint32_t slot = kPoolNullSlot;
+  std::uint32_t gen = 0;
+
+  explicit operator bool() const { return slot != kPoolNullSlot; }
+  friend bool operator==(PoolHandle, PoolHandle) = default;
+};
+
+template <typename T, std::size_t kSlabSize = 256>
+class SlabPool {
+  static_assert(kSlabSize > 0);
+
+ public:
+  static constexpr std::uint32_t kNullSlot = kPoolNullSlot;
+  using Handle = PoolHandle;
+
+  SlabPool() = default;
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// Take an object from the pool (growing by one slab when empty). The
+  /// object may carry recycled state — the caller resets what it needs.
+  /// Returns the handle and a stable pointer.
+  std::pair<Handle, T*> acquire() {
+    if (free_head_ == kNullSlot) grow();
+    const std::uint32_t slot = free_head_;
+    Entry& e = entry(slot);
+    free_head_ = e.next_free;
+    e.live = true;
+    ++live_;
+    if (live_ > high_water_) high_water_ = live_;
+    return {Handle{slot, e.gen}, &e.value};
+  }
+
+  /// Return an object to the free list. The object is not destroyed (warm
+  /// reuse); its generation advances so outstanding handles go stale.
+  /// Returns false (and does nothing) for a null, stale or double-released
+  /// handle.
+  bool release(Handle h) {
+    Entry* e = checked_entry(h);
+    if (!e) return false;
+    e->live = false;
+    ++e->gen;
+    e->next_free = free_head_;
+    free_head_ = h.slot;
+    --live_;
+    return true;
+  }
+
+  /// The object behind a handle; nullptr when the handle is null, stale or
+  /// out of range.
+  T* get(Handle h) {
+    Entry* e = checked_entry(h);
+    return e ? &e->value : nullptr;
+  }
+  const T* get(Handle h) const {
+    return const_cast<SlabPool*>(this)->get(h);
+  }
+
+  std::size_t live() const { return live_; }
+  std::size_t capacity() const { return slabs_.size() * kSlabSize; }
+  std::size_t slab_count() const { return slabs_.size(); }
+  /// Peak simultaneous live objects — the pool's true working-set size.
+  std::size_t high_water() const { return high_water_; }
+
+ private:
+  struct Entry {
+    T value{};
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNullSlot;
+    bool live = false;
+  };
+  struct Slab {
+    std::vector<Entry> entries = std::vector<Entry>(kSlabSize);
+  };
+
+  Entry& entry(std::uint32_t slot) {
+    return slabs_[slot / kSlabSize]->entries[slot % kSlabSize];
+  }
+
+  Entry* checked_entry(Handle h) {
+    if (h.slot == kNullSlot || h.slot >= capacity()) return nullptr;
+    Entry& e = entry(h.slot);
+    if (!e.live || e.gen != h.gen) return nullptr;
+    return &e;
+  }
+
+  void grow() {
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(slabs_.size() * kSlabSize);
+    slabs_.push_back(std::make_unique<Slab>());
+    // Thread the new slab onto the free list in ascending slot order so the
+    // first acquires walk the slab front to back (deterministic and
+    // prefetch-friendly).
+    Slab& slab = *slabs_.back();
+    for (std::size_t i = kSlabSize; i-- > 0;) {
+      slab.entries[i].next_free = free_head_;
+      free_head_ = base + static_cast<std::uint32_t>(i);
+    }
+  }
+
+  std::vector<std::unique_ptr<Slab>> slabs_;
+  std::uint32_t free_head_ = kNullSlot;
+  std::size_t live_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace itb::sim

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "itb/sim/alloc_hook.hpp"
+
 namespace itb::telemetry {
 
 // ----------------------------------------------------------- JsonWriter --
@@ -197,6 +199,14 @@ Telemetry::Telemetry(sim::EventQueue& queue, sim::Tracer& tracer,
   registry_.register_source("sim", "events_spilled", MetricKind::kCounter, [&queue] {
     return double(queue.stats().spill_scheduled);
   });
+  // Allocation oracle (zero when counting is compiled out — sanitizers —
+  // or before mark_steady_state()): heap allocations since warmup ended.
+  // The zero-allocation hot path shows a flat 0 here for the whole run.
+  registry_.register_source("sim", "allocations_total", MetricKind::kCounter,
+                            [] { return double(sim::total_allocations()); });
+  registry_.register_source(
+      "sim", "allocations_steady_state", MetricKind::kCounter,
+      [] { return double(sim::allocations_since_mark()); });
 }
 
 void Telemetry::write_json(std::ostream& out) const {
