@@ -36,7 +36,8 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   } else {
     // Run the mapper: discovery walk + route computation + table download.
     auto result = mapper::run(config_.topology, config_.policy,
-                              config_.mapper_root_host, config_.itb_selection);
+                              config_.mapper_root_host, config_.itb_selection,
+                              /*allow_partial=*/false, config_.route_solve_jobs);
     report_ = std::move(result.report);
     table_ = std::move(result.table);
     for (auto& nic : nics_) nic->load_routes(*table_);

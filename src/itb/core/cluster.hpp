@@ -59,6 +59,11 @@ struct ClusterConfig {
   sim::Duration remap_delay = 500 * sim::kUs;
   /// Host that runs the mapper.
   std::uint16_t mapper_root_host = 0;
+  /// Threads for the mapper's per-source route solves (0 = hardware
+  /// concurrency). The table is bit-identical for any value; the default
+  /// stays serial so clusters built inside parallel sweep workers do not
+  /// oversubscribe. The scale bench raises it for thousand-host fabrics.
+  unsigned route_solve_jobs = 1;
   /// Which host on a switch takes in-transit duty (kSpread balances the
   /// forwarding load across a switch's hosts).
   routing::ItbHostSelection itb_selection =

@@ -1,66 +1,18 @@
-// Parallel sweep runner.
+// Parallel sweep runner — compatibility re-export.
 //
-// Every figure bench is a sweep of independent, deterministic simulations:
-// one Cluster per {policy, rate, configuration, seed} point, no state
-// shared between points. ParallelRunner fans those points across a small
-// thread pool; run_sweep_parallel() is the typed helper that collects one
-// result per point, in point order.
-//
-// Determinism contract: a sweep point must build everything it touches
-// (topology, cluster, RNG streams) from its own index/seed and return its
-// results by value. Under that contract the per-point results are
-// bit-identical for any job count — threads change only wall-clock, never
-// numbers — and `--jobs 1` (which runs inline on the calling thread, no
-// pool at all) reproduces the serial program exactly. The determinism test
-// suite asserts this.
+// The implementation moved to itb/sim/parallel.hpp so the routing layer can
+// fan per-source route solves across threads without a dependency cycle
+// (core links routing via the mapper). Every figure bench and the
+// determinism test suite were written against itb::core; this header keeps
+// those spellings working.
 #pragma once
 
-#include <cstddef>
-#include <functional>
-#include <optional>
-#include <utility>
-#include <vector>
+#include "itb/sim/parallel.hpp"
 
 namespace itb::core {
 
-class ParallelRunner {
- public:
-  /// `jobs` = 0 picks std::thread::hardware_concurrency().
-  explicit ParallelRunner(unsigned jobs = 0);
-
-  unsigned jobs() const { return jobs_; }
-
-  /// Run body(0) .. body(count - 1), each exactly once, across up to
-  /// jobs() threads; returns when all have finished. jobs() == 1 (or
-  /// count == 1) runs inline on the calling thread — no threads are
-  /// created, so a serial run is reproduced exactly. If any body throws,
-  /// the first exception (in completion order) is rethrown after every
-  /// started body has finished; remaining unstarted indices are skipped.
-  void run_indexed(std::size_t count,
-                   const std::function<void(std::size_t)>& body) const;
-
- private:
-  unsigned jobs_;
-};
-
-/// Map `point` over [0, count) with `jobs` threads (0 = hardware
-/// concurrency) and return the results in point order.
-template <typename Fn>
-auto run_sweep_parallel(std::size_t count, Fn&& point, unsigned jobs = 0)
-    -> std::vector<decltype(point(std::size_t{}))> {
-  using Result = decltype(point(std::size_t{}));
-  std::vector<std::optional<Result>> slots(count);
-  ParallelRunner(jobs).run_indexed(
-      count, [&](std::size_t i) { slots[i].emplace(point(i)); });
-  std::vector<Result> out;
-  out.reserve(count);
-  for (auto& slot : slots) out.push_back(std::move(*slot));
-  return out;
-}
-
-/// Parse `--jobs N` or `--jobs=N` out of argv; nullopt when absent (bench
-/// mains default that to 0 = hardware concurrency). Throws
-/// std::invalid_argument on a missing or non-numeric value.
-std::optional<unsigned> jobs_flag(int argc, char** argv);
+using sim::ParallelRunner;
+using sim::jobs_flag;
+using sim::run_sweep_parallel;
 
 }  // namespace itb::core

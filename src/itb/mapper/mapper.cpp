@@ -1,19 +1,32 @@
 #include "itb/mapper/mapper.hpp"
 
 #include <algorithm>
-#include <set>
 #include <stdexcept>
 
 #include "itb/routing/updown.hpp"
+#include "itb/sim/alloc_hook.hpp"
 
 namespace itb::mapper {
 namespace {
 
+/// Probe-walk state. The walk is an explicit-stack depth-first traversal:
+/// the recursive formulation it replaces overflowed the thread stack on
+/// multi-thousand-switch chains (one native frame per newly discovered
+/// switch), while a Frame here is 8 bytes in a flat vector. Port-scan order
+/// and therefore probe counts, discovery order and the rebuilt fabric are
+/// identical to the recursive walk — the regression suite checks that
+/// against a reference implementation.
+///
+/// Every container is pre-sized from the fabric being walked, so the walk
+/// itself performs no heap allocation per probe (seen_links is a flat
+/// bitmap keyed by LinkId, not a node-per-insert std::set) — discovery of a
+/// thousand-switch fabric stays allocation-free after setup, which
+/// DiscoveryReport::walk_heap_allocs lets tests assert.
 struct WalkState {
   const topo::Topology& fabric;
   std::vector<std::uint16_t> disc_of_true;  // true switch -> disc index
   std::vector<std::uint16_t> true_of_disc;  // disc index -> true switch
-  std::set<topo::LinkId> seen_links;
+  std::vector<bool> seen_links;             // keyed by true LinkId
   std::uint64_t probes = 0;
 
   struct LinkRec {
@@ -31,27 +44,59 @@ struct WalkState {
   };
   std::vector<HostRec> hosts;
 
+  /// One in-progress switch scan: which switch, and the next port to probe.
+  struct Frame {
+    std::uint16_t true_sw;
+    std::uint16_t disc;
+    std::uint8_t next_port;
+    std::uint8_t ports;
+  };
+  std::vector<Frame> stack;
+
   explicit WalkState(const topo::Topology& f)
-      : fabric(f), disc_of_true(f.switch_count(), 0xFFFF) {}
+      : fabric(f),
+        disc_of_true(f.switch_count(), 0xFFFF),
+        seen_links(f.link_count(), false) {
+    true_of_disc.reserve(f.switch_count());
+    links.reserve(f.link_count());
+    hosts.reserve(f.host_count());
+    stack.reserve(f.switch_count());
+  }
 
   std::uint16_t admit(std::uint16_t true_sw) {
     if (disc_of_true[true_sw] != 0xFFFF) return disc_of_true[true_sw];
+    if (true_of_disc.size() >= 0xFFFFu)
+      throw std::invalid_argument(
+          "mapper: discovery index space exhausted (65535 switches max; "
+          "0xFFFF is the unvisited sentinel)");
     const auto disc = static_cast<std::uint16_t>(true_of_disc.size());
     disc_of_true[true_sw] = disc;
     true_of_disc.push_back(true_sw);
     return disc;
   }
 
-  void walk(std::uint16_t true_sw) {
-    const auto disc = disc_of_true[true_sw];
-    const auto ports = fabric.switch_spec(true_sw).ports;
-    for (std::uint8_t p = 0; p < ports; ++p) {
+  /// Depth-first walk from `start_sw` (already admitted). Each iteration
+  /// probes one port of the top-of-stack switch; discovering a new switch
+  /// pushes a frame, which reproduces the recursive visit order exactly
+  /// (the parent's remaining ports resume after the child's scan finishes).
+  void walk(std::uint16_t start_sw) {
+    stack.push_back(Frame{start_sw, disc_of_true[start_sw], 0,
+                          fabric.switch_spec(start_sw).ports});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next_port == f.ports) {
+        stack.pop_back();
+        continue;
+      }
+      const auto true_sw = f.true_sw;
+      const auto disc = f.disc;
+      const std::uint8_t p = f.next_port++;
       ++probes;  // one probe out of every port, answered or not
       auto peer = fabric.peer(topo::switch_id(true_sw), p);
       if (!peer) continue;  // silence: nothing plugged in
       const auto lid = *fabric.link_at(topo::switch_id(true_sw), p);
-      if (seen_links.contains(lid)) continue;  // scanned from the far side
-      seen_links.insert(lid);
+      if (seen_links[lid]) continue;  // scanned from the far side
+      seen_links[lid] = true;
       const auto kind = fabric.link(lid).kind;
 
       if (peer->node.kind == topo::NodeKind::kHost) {
@@ -63,7 +108,9 @@ struct WalkState {
       links.push_back(LinkRec{{topo::switch_id(disc), p},
                               {topo::switch_id(peer_disc), peer->port},
                               kind});
-      if (is_new) walk(peer->node.index);
+      if (is_new)  // invalidates `f`; the loop re-reads back() next round
+        stack.push_back(Frame{peer->node.index, peer_disc, 0,
+                              fabric.switch_spec(peer->node.index).ports});
     }
   }
 };
@@ -79,10 +126,16 @@ DiscoveryReport discover(const topo::Topology& fabric, std::uint16_t root_host,
   WalkState state(fabric);
   const auto start = fabric.host_uplink(root_host).node.index;
   state.admit(start);
+  const auto allocs_before = sim::total_allocations();
   state.walk(start);
+  const auto walk_allocs =
+      sim::alloc_counting_available()
+          ? sim::total_allocations() - allocs_before
+          : 0;
 
   DiscoveryReport report;
   report.probes_sent = state.probes;
+  report.walk_heap_allocs = walk_allocs;
   report.switch_of = state.true_of_disc;
 
   // Rebuild the fabric from the walk records: switches in discovery order,
@@ -106,13 +159,13 @@ DiscoveryReport discover(const topo::Topology& fabric, std::uint16_t root_host,
 
 MapResult run(const topo::Topology& fabric, routing::Policy policy,
               std::uint16_t root_host, routing::ItbHostSelection selection,
-              bool allow_partial) {
+              bool allow_partial, unsigned route_jobs) {
   DiscoveryReport report = discover(fabric, root_host, allow_partial);
   // The mapper roots the spanning tree at its first discovered switch —
   // deterministic from its own point of view.
   routing::UpDown updown(report.discovered, 0);
   routing::Router router(updown, selection);
-  routing::RouteTable table(router, policy);
+  routing::RouteTable table(router, policy, route_jobs);
   return MapResult{std::move(report), std::move(table)};
 }
 

@@ -33,13 +33,22 @@ struct DiscoveryReport {
   /// Probe packets spent: one per port scan, plus one reply per answer.
   std::uint64_t probes_sent = 0;
 
+  /// Heap allocations made by the probe walk itself (discovery-report
+  /// assembly excluded). The walk pre-sizes everything from the fabric, so
+  /// this must stay 0 whatever the fabric size — the scale suite asserts it
+  /// through the sim::alloc_hook oracle. Always 0 when allocation counting
+  /// is unavailable (sanitizer builds).
+  std::uint64_t walk_heap_allocs = 0;
+
   std::size_t switches_found() const { return discovered.switch_count(); }
   std::size_t hosts_found() const { return discovered.host_count(); }
 };
 
 /// Walk the fabric starting from `root_host`'s uplink switch. The walk is
 /// deterministic: ports are scanned in ascending order, new switches are
-/// visited depth-first. Unattached ports cost one (unanswered) probe each.
+/// visited depth-first (an explicit-stack DFS — fabric depth costs heap
+/// bytes, never native stack frames, so an 8192-switch chain discovers
+/// fine). Unattached ports cost one (unanswered) probe each.
 /// With `allow_partial` the walk tolerates unreachable hosts (remapping a
 /// fabric degraded by fault windows); they stay unattached in `discovered`.
 /// Otherwise unreachable hosts are a mapping error and throw.
@@ -49,7 +58,10 @@ DiscoveryReport discover(const topo::Topology& fabric, std::uint16_t root_host,
 /// Full mapper run: discover, orient (root = first discovered switch),
 /// compute the all-pairs table under `policy`. The returned table's routes
 /// are valid on the real fabric because the discovered graph is
-/// port-faithful.
+/// port-faithful. `route_jobs` fans the per-source route solves across
+/// that many threads (0 = hardware concurrency); the table is bit-identical
+/// for any value, so it defaults to 1 — callers inside an already-parallel
+/// sweep stay single-threaded, the scale bench opts in.
 struct MapResult {
   DiscoveryReport report;
   routing::RouteTable table;
@@ -58,6 +70,6 @@ MapResult run(const topo::Topology& fabric, routing::Policy policy,
               std::uint16_t root_host = 0,
               routing::ItbHostSelection selection =
                   routing::ItbHostSelection::kLowestIndex,
-              bool allow_partial = false);
+              bool allow_partial = false, unsigned route_jobs = 1);
 
 }  // namespace itb::mapper

@@ -66,42 +66,27 @@ struct State {
   std::uint8_t phase;
 };
 
-struct Cost {
-  std::uint32_t hops = std::numeric_limits<std::uint32_t>::max();
-  std::uint32_t itbs = std::numeric_limits<std::uint32_t>::max();
-  friend auto operator<=>(const Cost&, const Cost&) = default;
-};
-
-struct Pred {
-  std::uint16_t sw = 0xFFFF;
-  std::uint8_t phase = 0;
-  /// Index into adj_[pred.sw] of the hop taken, or -1 for an ITB reset
-  /// (same switch, phase 1 -> 0).
-  int hop = -2;  // -2 = unset / source
-};
-
 }  // namespace
 
-HostPath Router::search(std::uint16_t src_host, std::uint16_t dst_host,
-                        bool restrict_updown, bool allow_itb) const {
-  const auto& topo = updown_->topology();
-  const auto src_up = topo.host_uplink(src_host);
-  const auto dst_up = topo.host_uplink(dst_host);
-  const auto ss = src_up.node.index;
-  const auto sd = dst_up.node.index;
-  const auto n = topo.switch_count();
+Router::Search Router::relax(std::uint16_t src_switch, bool restrict_updown,
+                             bool allow_itb) const {
+  const auto n = updown_->topology().switch_count();
 
+  Search out;
+  out.src_switch = src_switch;
   // dist[sw][phase]; with restrictions off everything stays in phase 0.
-  std::vector<std::array<Cost, 2>> dist(n);
-  std::vector<std::array<Pred, 2>> pred(n);
+  out.dist.resize(n);
+  out.pred.resize(n);
+  auto& dist = out.dist;
+  auto& pred = out.pred;
 
-  using QEntry = std::pair<Cost, State>;
+  using QEntry = std::pair<SearchCost, State>;
   auto cmp = [](const QEntry& a, const QEntry& b) { return a.first > b.first; };
   std::priority_queue<QEntry, std::vector<QEntry>, decltype(cmp)> queue(cmp);
 
-  dist[ss][0] = Cost{0, 0};
-  pred[ss][0] = Pred{0xFFFF, 0, -2};
-  queue.push({Cost{0, 0}, State{ss, 0}});
+  dist[src_switch][0] = SearchCost{0, 0};
+  pred[src_switch][0] = SearchPred{0xFFFF, 0, -2};
+  queue.push({SearchCost{0, 0}, State{src_switch, 0}});
 
   while (!queue.empty()) {
     auto [cost, st] = queue.top();
@@ -119,11 +104,11 @@ HostPath Router::search(std::uint16_t src_host, std::uint16_t dst_host,
       } else {
         next_phase = 1;
       }
-      const Cost next{cost.hops + 1, cost.itbs};
+      const SearchCost next{cost.hops + 1, cost.itbs};
       if (next < dist[h.to_switch][next_phase]) {
         dist[h.to_switch][next_phase] = next;
         pred[h.to_switch][next_phase] =
-            Pred{st.sw, st.phase, static_cast<int>(hi)};
+            SearchPred{st.sw, st.phase, static_cast<int>(hi)};
         queue.push({next, State{h.to_switch, next_phase}});
       }
     }
@@ -131,14 +116,25 @@ HostPath Router::search(std::uint16_t src_host, std::uint16_t dst_host,
     // ITB reset: eject at a host on this switch, re-inject in phase 0.
     if (allow_itb && restrict_updown && st.phase == 1 &&
         !itb_hosts_[st.sw].empty()) {
-      const Cost next{cost.hops, cost.itbs + 1};
+      const SearchCost next{cost.hops, cost.itbs + 1};
       if (next < dist[st.sw][0]) {
         dist[st.sw][0] = next;
-        pred[st.sw][0] = Pred{st.sw, 1, -1};
+        pred[st.sw][0] = SearchPred{st.sw, 1, -1};
         queue.push({next, State{st.sw, 0}});
       }
     }
   }
+  return out;
+}
+
+HostPath Router::extract(const Search& s, std::uint16_t src_host,
+                         std::uint16_t dst_host) const {
+  const auto& topo = updown_->topology();
+  const auto dst_up = topo.host_uplink(dst_host);
+  const auto ss = s.src_switch;
+  const auto sd = dst_up.node.index;
+  const auto& dist = s.dist;
+  const auto& pred = s.pred;
 
   const std::uint8_t best_phase = dist[sd][0] <= dist[sd][1] ? 0 : 1;
   if (dist[sd][best_phase].hops == std::numeric_limits<std::uint32_t>::max())
@@ -152,7 +148,7 @@ HostPath Router::search(std::uint16_t src_host, std::uint16_t dst_host,
   std::vector<Step> steps;
   State cur{sd, best_phase};
   while (!(cur.sw == ss && cur.phase == 0 && pred[cur.sw][cur.phase].hop == -2)) {
-    const Pred& p = pred[cur.sw][cur.phase];
+    const SearchPred& p = pred[cur.sw][cur.phase];
     if (p.hop == -2) throw std::logic_error("route reconstruction failed");
     steps.push_back(Step{p.sw, p.hop});
     cur = State{p.sw, p.phase};
@@ -182,6 +178,42 @@ HostPath Router::search(std::uint16_t src_host, std::uint16_t dst_host,
   }
   path.segments.back().push_back(dst_up.port);
   return path;
+}
+
+HostPath Router::search(std::uint16_t src_host, std::uint16_t dst_host,
+                        bool restrict_updown, bool allow_itb) const {
+  const auto& topo = updown_->topology();
+  const auto ss = topo.host_uplink(src_host).node.index;
+  return extract(relax(ss, restrict_updown, allow_itb), src_host, dst_host);
+}
+
+std::vector<HostPath> Router::routes_from(std::uint16_t src_host,
+                                          Policy policy) const {
+  const auto& topo = updown_->topology();
+  std::vector<HostPath> row(topo.host_count());
+  if (!topo.host_attached(src_host)) return row;  // degraded fabric
+  const auto s = relax(topo.host_uplink(src_host).node.index,
+                       /*restrict_updown=*/true,
+                       /*allow_itb=*/policy == Policy::kItb);
+  for (std::uint16_t d = 0; d < row.size(); ++d) {
+    if (d == src_host || !topo.host_attached(d)) continue;
+    row[d] = extract(s, src_host, d);
+  }
+  return row;
+}
+
+std::vector<std::size_t> Router::minimal_distances_from(
+    std::uint16_t src_host) const {
+  const auto& topo = updown_->topology();
+  std::vector<std::size_t> row(topo.host_count(), 0);
+  if (!topo.host_attached(src_host)) return row;
+  const auto s = relax(topo.host_uplink(src_host).node.index,
+                       /*restrict_updown=*/false, /*allow_itb=*/false);
+  for (std::uint16_t d = 0; d < row.size(); ++d) {
+    if (d == src_host || !topo.host_attached(d)) continue;
+    row[d] = s.dist[topo.host_uplink(d).node.index][0].hops;
+  }
+  return row;
 }
 
 HostPath Router::updown_route(std::uint16_t src, std::uint16_t dst) const {

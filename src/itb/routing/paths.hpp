@@ -11,6 +11,7 @@
 // in-transit hosts) and the wire encoding (route-byte segments, Fig. 3).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -21,6 +22,15 @@
 #include "itb/topo/topology.hpp"
 
 namespace itb::routing {
+
+/// Which restriction a route table is computed under. Lives here (not in
+/// table.hpp) so the per-source solver can take it without a header cycle.
+enum class Policy : std::uint8_t {
+  kUpDown,  // stock GM routing
+  kItb,     // minimal routing legalised with in-transit buffers
+};
+
+const char* to_string(Policy p);
 
 /// A computed route between two hosts.
 struct HostPath {
@@ -73,9 +83,22 @@ class Router {
   /// minimal path).
   HostPath itb_route(std::uint16_t src_host, std::uint16_t dst_host) const;
 
+  /// All routes out of one source under `policy`: ONE multi-destination
+  /// search (the Dijkstra never looks at the destination until extraction)
+  /// followed by a per-destination path reconstruction. Entry [dst] for
+  /// dst == src or an unattached endpoint is an empty HostPath. Identical
+  /// paths to calling updown_route()/itb_route() per pair, at 1/H the
+  /// search cost — the primitive RouteTable parallelises over sources.
+  std::vector<HostPath> routes_from(std::uint16_t src_host,
+                                    Policy policy) const;
+
   /// Trunk-hop distance of the unrestricted shortest path.
   std::size_t minimal_distance(std::uint16_t src_host,
                                std::uint16_t dst_host) const;
+
+  /// minimal_distance() to every destination from one unrestricted search.
+  /// Entries for dst == src or unattached endpoints are 0.
+  std::vector<std::size_t> minimal_distances_from(std::uint16_t src_host) const;
 
   /// True if the switch-link traversal sequence obeys up* down*.
   bool is_valid_updown(const std::vector<topo::Channel>& trunks) const;
@@ -106,6 +129,36 @@ class Router {
   /// Pick the in-transit host on `sw` for the (src, dst) pair.
   const ItbCandidate& pick_itb(std::uint16_t sw, std::uint16_t src,
                                std::uint16_t dst) const;
+
+  // ---- Per-source search machinery -------------------------------------
+  // The Dijkstra over (switch, up*/down* phase) states is destination-blind:
+  // it relaxes the whole fabric and only the extraction step looks at dst.
+  // Splitting the two lets routes_from() pay one search for a full table
+  // row where the old per-pair search() paid H of them.
+
+  struct SearchCost {
+    std::uint32_t hops = 0xFFFFFFFFu;
+    std::uint32_t itbs = 0xFFFFFFFFu;
+    friend auto operator<=>(const SearchCost&, const SearchCost&) = default;
+  };
+  struct SearchPred {
+    std::uint16_t sw = 0xFFFF;
+    std::uint8_t phase = 0;
+    /// Index into adj_[pred.sw] of the hop taken, or -1 for an ITB reset
+    /// (same switch, phase 1 -> 0).
+    int hop = -2;  // -2 = unset / source
+  };
+  /// Full relaxation result from one source switch.
+  struct Search {
+    std::uint16_t src_switch = 0;
+    std::vector<std::array<SearchCost, 2>> dist;  // [switch][phase]
+    std::vector<std::array<SearchPred, 2>> pred;
+  };
+
+  Search relax(std::uint16_t src_switch, bool restrict_updown,
+               bool allow_itb) const;
+  HostPath extract(const Search& s, std::uint16_t src_host,
+                   std::uint16_t dst_host) const;
 
   HostPath search(std::uint16_t src_host, std::uint16_t dst_host,
                   bool restrict_updown, bool allow_itb) const;

@@ -1,6 +1,9 @@
 #include "itb/routing/table.hpp"
 
+#include <ostream>
 #include <stdexcept>
+
+#include "itb/sim/parallel.hpp"
 
 namespace itb::routing {
 
@@ -8,22 +11,16 @@ const char* to_string(Policy p) {
   return p == Policy::kUpDown ? "up*/down*" : "UD+ITB";
 }
 
-RouteTable::RouteTable(const Router& router, Policy policy)
+RouteTable::RouteTable(const Router& router, Policy policy, unsigned jobs)
     : policy_(policy), hosts_(router.topology().host_count()) {
-  const auto& topo = router.topology();
-  routes_.reserve(hosts_ * hosts_);
-  for (std::uint16_t s = 0; s < hosts_; ++s) {
-    for (std::uint16_t d = 0; d < hosts_; ++d) {
-      // Unattached hosts appear in degraded topologies (fault windows that
-      // cut a host off); their pairs get empty routes, like the diagonal.
-      if (s == d || !topo.host_attached(s) || !topo.host_attached(d)) {
-        routes_.emplace_back();  // unused diagonal / unreachable slot
-        continue;
-      }
-      routes_.push_back(policy == Policy::kUpDown ? router.updown_route(s, d)
-                                                  : router.itb_route(s, d));
-    }
-  }
+  // Unattached hosts appear in degraded topologies (fault windows that cut
+  // a host off); routes_from leaves their pairs — and the diagonal — as
+  // empty HostPaths, exactly like the old per-pair loop.
+  routes_.resize(hosts_ * hosts_);
+  sim::ParallelRunner(jobs).run_indexed(hosts_, [&](std::size_t s) {
+    auto row = router.routes_from(static_cast<std::uint16_t>(s), policy_);
+    std::move(row.begin(), row.end(), routes_.begin() + s * hosts_);
+  });
 }
 
 std::size_t RouteTable::index(std::uint16_t src, std::uint16_t dst) const {
@@ -49,16 +46,24 @@ double RouteTable::average_trunk_hops() const {
   return pairs ? static_cast<double>(total) / static_cast<double>(pairs) : 0.0;
 }
 
-double RouteTable::minimal_fraction(const Router& router) const {
-  std::size_t minimal = 0, pairs = 0;
-  for (std::uint16_t s = 0; s < hosts_; ++s)
+double RouteTable::minimal_fraction(const Router& router, unsigned jobs) const {
+  std::vector<std::size_t> minimal_per_src(hosts_, 0);
+  std::vector<std::size_t> pairs_per_src(hosts_, 0);
+  sim::ParallelRunner(jobs).run_indexed(hosts_, [&](std::size_t s) {
+    const auto dist = router.minimal_distances_from(static_cast<std::uint16_t>(s));
     for (std::uint16_t d = 0; d < hosts_; ++d) {
       if (s == d) continue;
-      const HostPath& r = route(s, d);
+      const HostPath& r = routes_[s * hosts_ + d];
       if (r.segments.empty()) continue;  // unreachable in a degraded table
-      if (r.trunk_hops() == router.minimal_distance(s, d)) ++minimal;
-      ++pairs;
+      if (r.trunk_hops() == dist[d]) ++minimal_per_src[s];
+      ++pairs_per_src[s];
     }
+  });
+  std::size_t minimal = 0, pairs = 0;
+  for (std::size_t s = 0; s < hosts_; ++s) {
+    minimal += minimal_per_src[s];
+    pairs += pairs_per_src[s];
+  }
   return pairs ? static_cast<double>(minimal) / static_cast<double>(pairs) : 1.0;
 }
 
@@ -85,6 +90,26 @@ std::vector<std::uint32_t> RouteTable::channel_usage(
         ++usage[2 * c.link + (c.forward ? 0 : 1)];
     }
   return usage;
+}
+
+void RouteTable::dump(std::ostream& os) const {
+  os << "policy=" << to_string(policy_) << " hosts=" << hosts_ << "\n";
+  for (std::uint16_t s = 0; s < hosts_; ++s)
+    for (std::uint16_t d = 0; d < hosts_; ++d) {
+      if (s == d) continue;
+      const HostPath& r = routes_[static_cast<std::size_t>(s) * hosts_ + d];
+      os << s << ">" << d << " seg";
+      for (const auto& seg : r.segments) {
+        os << ":";
+        for (auto byte : seg) os << " " << static_cast<unsigned>(byte);
+      }
+      os << " itb";
+      for (auto h : r.in_transit_hosts) os << " " << h;
+      os << " ch";
+      for (const auto& c : r.trunk_channels)
+        os << " " << c.link << (c.forward ? "+" : "-");
+      os << "\n";
+    }
 }
 
 }  // namespace itb::routing

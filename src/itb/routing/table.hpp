@@ -8,23 +8,22 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "itb/routing/paths.hpp"
 
 namespace itb::routing {
 
-enum class Policy : std::uint8_t {
-  kUpDown,  // stock GM routing
-  kItb,     // minimal routing legalised with in-transit buffers
-};
-
-const char* to_string(Policy p);
-
 class RouteTable {
  public:
-  /// Compute routes for every ordered host pair under `policy`.
-  RouteTable(const Router& router, Policy policy);
+  /// Compute routes for every ordered host pair under `policy`. Each source
+  /// host is one multi-destination solve (Router::routes_from); `jobs` fans
+  /// the sources across that many threads (0 = hardware concurrency). Every
+  /// source writes only its own row, and the row content depends only on
+  /// (router, policy, src), so the table is bit-identical for any job count
+  /// — CI byte-compares jobs=1 against jobs=8 dumps to hold that line.
+  explicit RouteTable(const Router& router, Policy policy, unsigned jobs = 1);
 
   Policy policy() const { return policy_; }
   std::size_t host_count() const { return hosts_; }
@@ -34,8 +33,10 @@ class RouteTable {
   /// Mean switch-switch hops over all pairs (src != dst).
   double average_trunk_hops() const;
 
-  /// Fraction of pairs routed minimally.
-  double minimal_fraction(const Router& router) const;
+  /// Fraction of pairs routed minimally. The per-source minimal distances
+  /// also solve one search per source; `jobs` parallelises them the same
+  /// way as the constructor (result is jobs-invariant).
+  double minimal_fraction(const Router& router, unsigned jobs = 1) const;
 
   /// Mean ITBs per route (0 for kUpDown).
   double average_itbs() const;
@@ -44,6 +45,11 @@ class RouteTable {
   /// 2*link + (forward ? 0 : 1). The motivation benches use the spread of
   /// this vector to show up*/down*'s root congestion.
   std::vector<std::uint32_t> channel_usage(const topo::Topology& topo) const;
+
+  /// Write every route in a stable text form (one line per pair: segments,
+  /// in-transit hosts, trunk channels). Deterministic byte-for-byte given
+  /// equal tables — the CI jobs-invariance gate compares these dumps.
+  void dump(std::ostream& os) const;
 
  private:
   Policy policy_;

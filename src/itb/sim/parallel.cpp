@@ -1,4 +1,4 @@
-#include "itb/core/parallel.hpp"
+#include "itb/sim/parallel.hpp"
 
 #include <atomic>
 #include <exception>
@@ -8,7 +8,7 @@
 #include <string_view>
 #include <thread>
 
-namespace itb::core {
+namespace itb::sim {
 
 ParallelRunner::ParallelRunner(unsigned jobs) : jobs_(jobs) {
   if (jobs_ == 0) jobs_ = std::max(1u, std::thread::hardware_concurrency());
@@ -74,4 +74,4 @@ std::optional<unsigned> jobs_flag(int argc, char** argv) {
   return std::nullopt;
 }
 
-}  // namespace itb::core
+}  // namespace itb::sim

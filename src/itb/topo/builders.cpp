@@ -74,41 +74,239 @@ Topology make_random_irregular(const IrregularSpec& spec, sim::Rng& rng) {
   }
 
   // A random spanning tree guarantees connectivity: attach each switch i>0
-  // to a uniformly chosen earlier switch with free ports.
+  // to a uniformly chosen earlier switch with free ports. The candidate is
+  // picked by a counting scan (draw an index among the valid switches, then
+  // walk to it) rather than by materialising a candidate vector — same RNG
+  // draws, same choices, no per-switch allocation, so large fabrics build
+  // without changing any seeded topology.
   auto has_free = [&](std::uint16_t s) { return next_port[s] < spec.ports; };
   for (std::uint16_t s = 1; s < spec.switches; ++s) {
-    std::vector<std::uint16_t> candidates;
+    std::size_t candidates = 0;
     for (std::uint16_t p = 0; p < s; ++p)
-      if (has_free(p)) candidates.push_back(p);
-    if (candidates.empty())
+      if (has_free(p)) ++candidates;
+    if (candidates == 0)
       throw std::invalid_argument("not enough trunk ports for connectivity");
-    auto pick = candidates[rng.next_below(candidates.size())];
+    std::uint64_t want = rng.next_below(candidates);
+    std::uint16_t pick = 0;
+    for (std::uint16_t p = 0; p < s; ++p) {
+      if (!has_free(p)) continue;
+      if (want == 0) { pick = p; break; }
+      --want;
+    }
     t.connect_switches(s, next_port[s]++, pick, next_port[pick]++,
                        spec.trunk_kind);
   }
 
   // Fill remaining ports with random extra trunks (the "irregular" part).
   // `open` holds one entry per still-free port; next_port[] stays the
-  // per-switch cursor of the next free port number.
+  // per-switch cursor of the next free port number. A per-switch tally of
+  // open entries lets the partner pick draw against the valid-partner count
+  // directly and walk to the chosen one — identical RNG draws and trunk
+  // choices to the old materialised-vector version, but no allocation per
+  // edge, which is what keeps multi-hundred-switch COWs cheap to generate.
   std::vector<std::uint16_t> open;
+  open.reserve(static_cast<std::size_t>(spec.switches) * spec.ports);
+  std::vector<std::uint32_t> open_count(spec.switches, 0);
   for (std::uint16_t s = 0; s < spec.switches; ++s)
-    for (std::uint8_t p = next_port[s]; p < spec.ports; ++p) open.push_back(s);
+    for (std::uint8_t p = next_port[s]; p < spec.ports; ++p) {
+      open.push_back(s);
+      ++open_count[s];
+    }
 
   while (open.size() >= 2) {
     const auto i = rng.next_below(open.size());
     std::uint16_t a = open[i];
     open.erase(open.begin() + static_cast<std::ptrdiff_t>(i));
+    --open_count[a];
     // Pick a partner on a different switch; stop when only one switch has
     // free ports left (those ports simply stay unused).
-    std::vector<std::size_t> partners;
-    for (std::size_t j = 0; j < open.size(); ++j)
-      if (open[j] != a) partners.push_back(j);
-    if (partners.empty()) break;
-    const auto j = partners[rng.next_below(partners.size())];
+    const std::size_t partners = open.size() - open_count[a];
+    if (partners == 0) break;
+    std::uint64_t want = rng.next_below(partners);
+    std::size_t j = 0;
+    for (;; ++j) {
+      if (open[j] == a) continue;
+      if (want == 0) break;
+      --want;
+    }
     std::uint16_t b = open[j];
     open.erase(open.begin() + static_cast<std::ptrdiff_t>(j));
+    --open_count[b];
     t.connect_switches(a, next_port[a]++, b, next_port[b]++, spec.trunk_kind);
   }
+  return t;
+}
+
+Topology make_random_regular(const RegularSpec& spec, sim::Rng& rng) {
+  const std::size_t n = spec.switches;
+  if (n < 2)
+    throw std::invalid_argument("regular graph needs >= 2 switches");
+  if (spec.degree == 0)
+    throw std::invalid_argument("regular graph needs degree >= 1");
+  const std::size_t stub_count = n * spec.degree;
+  if (stub_count % 2 != 0)
+    throw std::invalid_argument(
+        "switches * degree must be even (every cable has two ends)");
+  if (static_cast<std::size_t>(spec.degree) + spec.hosts_per_switch > 255)
+    throw std::invalid_argument(
+        "degree + hosts_per_switch exceeds the 255-port switch budget");
+  if (n * spec.hosts_per_switch > Topology::kMaxNodesPerKind)
+    throw std::invalid_argument(
+        "switches * hosts_per_switch overflows the 16-bit host id space");
+
+  // Configuration model: `degree` stubs per switch, shuffled and paired in
+  // order. A draw is rejected when any pair is a self-cable or the paired
+  // switch graph is disconnected; both get rarer as the fabric grows, so a
+  // handful of redraws suffices for any reasonable spec.
+  std::vector<std::uint16_t> stubs(stub_count);
+  std::vector<std::uint16_t> dsu(n);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::size_t k = 0;
+    for (std::uint16_t s = 0; s < n; ++s)
+      for (std::uint8_t d = 0; d < spec.degree; ++d) stubs[k++] = s;
+    for (std::size_t i = stub_count - 1; i > 0; --i) {
+      const auto j = rng.next_below(i + 1);
+      std::swap(stubs[i], stubs[j]);
+    }
+
+    bool ok = true;
+    for (std::size_t i = 0; ok && i < stub_count; i += 2)
+      if (stubs[i] == stubs[i + 1]) ok = false;  // self-cable: redraw
+    if (!ok) continue;
+
+    // Union-find connectivity check on the pairing before building.
+    for (std::uint16_t s = 0; s < n; ++s) dsu[s] = s;
+    auto find = [&](std::uint16_t x) {
+      while (dsu[x] != x) x = dsu[x] = dsu[dsu[x]];
+      return x;
+    };
+    std::size_t components = n;
+    for (std::size_t i = 0; i < stub_count; i += 2) {
+      const auto ra = find(stubs[i]);
+      const auto rb = find(stubs[i + 1]);
+      if (ra != rb) {
+        dsu[ra] = rb;
+        --components;
+      }
+    }
+    if (components != 1) continue;  // disconnected: redraw
+
+    Topology t;
+    const auto ports =
+        static_cast<std::uint8_t>(spec.degree + spec.hosts_per_switch);
+    for (std::uint16_t s = 0; s < n; ++s) t.add_switch(ports);
+    std::vector<std::uint8_t> next_port(n, 0);
+    for (std::uint16_t s = 0; s < n; ++s)
+      for (std::uint8_t h = 0; h < spec.hosts_per_switch; ++h) {
+        auto id = t.add_host();
+        t.attach_host(id.index, s, next_port[s]++, spec.host_link_kind);
+      }
+    for (std::size_t i = 0; i < stub_count; i += 2) {
+      const auto a = stubs[i];
+      const auto b = stubs[i + 1];
+      t.connect_switches(a, next_port[a]++, b, next_port[b]++,
+                         spec.trunk_kind);
+    }
+    return t;
+  }
+  throw std::runtime_error(
+      "make_random_regular: no connected self-cable-free pairing after 64 "
+      "draws (degenerate switches/degree combination)");
+}
+
+Topology make_fat_tree(std::uint8_t k, PortKind host_link_kind,
+                       PortKind trunk_kind) {
+  if (k < 2 || k % 2 != 0)
+    throw std::invalid_argument("fat tree needs an even k >= 2");
+  const std::size_t half = k / 2;
+  const std::size_t cores = half * half;
+  const std::size_t hosts =
+      static_cast<std::size_t>(k) * k * k / 4;  // k pods * k/2 edges * k/2
+  if (hosts > Topology::kMaxNodesPerKind)
+    throw std::invalid_argument(
+        "fat tree k^3/4 hosts overflow the 16-bit host id space");
+
+  Topology t;
+  // Cores first: the default up*/down* spanning-tree root (switch 0) lands
+  // on a core switch, which is where a fat tree wants its root.
+  for (std::size_t c = 0; c < cores; ++c)
+    t.add_switch(k, "core" + std::to_string(c));
+  const auto agg = [&](std::size_t pod, std::size_t j) {
+    return static_cast<std::uint16_t>(cores + pod * k + j);
+  };
+  const auto edge = [&](std::size_t pod, std::size_t e) {
+    return static_cast<std::uint16_t>(cores + pod * k + half + e);
+  };
+  for (std::size_t pod = 0; pod < k; ++pod) {
+    for (std::size_t j = 0; j < half; ++j)
+      t.add_switch(k, "agg" + std::to_string(pod) + "." + std::to_string(j));
+    for (std::size_t e = 0; e < half; ++e)
+      t.add_switch(k, "edge" + std::to_string(pod) + "." + std::to_string(e));
+  }
+
+  // Pod fabric: edge(p,e) uplink port half+j <-> agg(p,j) downlink port e.
+  for (std::size_t pod = 0; pod < k; ++pod)
+    for (std::size_t e = 0; e < half; ++e)
+      for (std::size_t j = 0; j < half; ++j)
+        t.connect_switches(edge(pod, e), static_cast<std::uint8_t>(half + j),
+                           agg(pod, j), static_cast<std::uint8_t>(e),
+                           trunk_kind);
+  // Core fabric: agg(p,j) uplink port half+u <-> core j*half+u port p.
+  for (std::size_t pod = 0; pod < k; ++pod)
+    for (std::size_t j = 0; j < half; ++j)
+      for (std::size_t u = 0; u < half; ++u)
+        t.connect_switches(agg(pod, j), static_cast<std::uint8_t>(half + u),
+                           static_cast<std::uint16_t>(j * half + u),
+                           static_cast<std::uint8_t>(pod), trunk_kind);
+  // Hosts on the edge low ports, numbered pod-major so host / switch
+  // locality coincide.
+  for (std::size_t pod = 0; pod < k; ++pod)
+    for (std::size_t e = 0; e < half; ++e)
+      for (std::size_t h = 0; h < half; ++h) {
+        auto id = t.add_host();
+        t.attach_host(id.index, edge(pod, e), static_cast<std::uint8_t>(h),
+                      host_link_kind);
+      }
+  return t;
+}
+
+Topology make_clos(std::uint16_t spine, std::uint16_t leaf,
+                   std::uint8_t hosts_per_leaf, PortKind host_link_kind,
+                   PortKind trunk_kind) {
+  if (spine == 0 || leaf == 0 || hosts_per_leaf == 0)
+    throw std::invalid_argument("clos needs spine, leaf and hosts_per_leaf");
+  if (leaf > 255)
+    throw std::invalid_argument(
+        "clos: a spine needs one port per leaf (255-port budget)");
+  if (static_cast<std::size_t>(spine) + hosts_per_leaf > 255)
+    throw std::invalid_argument(
+        "clos: a leaf needs spine + hosts_per_leaf ports (255-port budget)");
+  if (static_cast<std::size_t>(spine) + leaf > Topology::kMaxNodesPerKind)
+    throw std::invalid_argument(
+        "clos: switch count overflows the 16-bit id space");
+  if (static_cast<std::size_t>(leaf) * hosts_per_leaf >
+      Topology::kMaxNodesPerKind)
+    throw std::invalid_argument(
+        "clos: host count overflows the 16-bit host id space");
+
+  Topology t;
+  // Spines first so the default spanning-tree root is a spine.
+  for (std::uint16_t s = 0; s < spine; ++s)
+    t.add_switch(static_cast<std::uint8_t>(leaf), "spine" + std::to_string(s));
+  for (std::uint16_t l = 0; l < leaf; ++l)
+    t.add_switch(static_cast<std::uint8_t>(spine + hosts_per_leaf),
+                 "leaf" + std::to_string(l));
+  for (std::uint16_t l = 0; l < leaf; ++l)
+    for (std::uint16_t s = 0; s < spine; ++s)
+      t.connect_switches(static_cast<std::uint16_t>(spine + l),
+                         static_cast<std::uint8_t>(s), s,
+                         static_cast<std::uint8_t>(l), trunk_kind);
+  for (std::uint16_t l = 0; l < leaf; ++l)
+    for (std::uint8_t h = 0; h < hosts_per_leaf; ++h) {
+      auto id = t.add_host();
+      t.attach_host(id.index, static_cast<std::uint16_t>(spine + l),
+                    static_cast<std::uint8_t>(spine + h), host_link_kind);
+    }
   return t;
 }
 

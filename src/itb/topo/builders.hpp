@@ -48,6 +48,46 @@ struct IrregularSpec {
 
 Topology make_random_irregular(const IrregularSpec& spec, sim::Rng& rng);
 
+/// A random `degree`-regular switch graph: every switch gets exactly
+/// `degree` trunk cables (pairing/configuration model; parallel trunks
+/// between two switches are legal Myrinet, self-cables are rejected) plus
+/// `hosts_per_switch` hosts. Deterministic given the Rng state; the
+/// generator redraws until the switch graph is connected and throws
+/// std::runtime_error if that fails 64 times (degenerate parameters).
+/// Throws std::invalid_argument when switches * degree is odd, the port
+/// budget (degree + hosts_per_switch <= 255) is blown, or a 16-bit id
+/// space would overflow.
+struct RegularSpec {
+  std::uint16_t switches = 64;
+  std::uint8_t degree = 4;
+  std::uint8_t hosts_per_switch = 4;
+  PortKind host_link_kind = PortKind::kLan;
+  PortKind trunk_kind = PortKind::kSan;
+};
+
+Topology make_random_regular(const RegularSpec& spec, sim::Rng& rng);
+
+/// A k-ary fat tree (Clos-over-pods, the thousand-host datacenter shape):
+/// (k/2)^2 core switches, k pods of k/2 aggregation + k/2 edge switches,
+/// k/2 hosts per edge switch — k^3/4 hosts total on k-port switches
+/// (k = 4 -> 16 hosts, k = 8 -> 128, k = 16 -> 1024). Core switches come
+/// first in the switch numbering so the default spanning-tree root is a
+/// core. Deterministic (no randomness). Throws std::invalid_argument when
+/// k is odd, < 2, or the host count would overflow the 16-bit id space.
+Topology make_fat_tree(std::uint8_t k, PortKind host_link_kind = PortKind::kLan,
+                       PortKind trunk_kind = PortKind::kSan);
+
+/// A two-level leaf-spine Clos: every leaf wired to every spine,
+/// `hosts_per_leaf` hosts per leaf. Spines come first in the switch
+/// numbering so the default spanning-tree root is a spine. Deterministic.
+/// Throws std::invalid_argument on port-budget violations (a spine needs
+/// `leaf` ports, a leaf needs `spine + hosts_per_leaf`, both <= 255) or a
+/// 16-bit id-space overflow.
+Topology make_clos(std::uint16_t spine, std::uint16_t leaf,
+                   std::uint8_t hosts_per_leaf,
+                   PortKind host_link_kind = PortKind::kLan,
+                   PortKind trunk_kind = PortKind::kSan);
+
 /// A chain of `switches` switches with one host on each end plus
 /// `hosts_per_switch` hosts everywhere; handy for unit tests.
 Topology make_linear(std::uint16_t switches, std::uint8_t hosts_per_switch = 1);

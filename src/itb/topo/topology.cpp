@@ -19,16 +19,26 @@ std::string to_string(NodeId id) {
 
 NodeId Topology::add_switch(std::uint8_t ports, std::string name) {
   if (ports == 0) throw std::invalid_argument("switch needs at least one port");
+  if (switches_.size() >= kMaxNodesPerKind)
+    throw std::invalid_argument(
+        "switch id space exhausted (65535 max): the mapper and route tables "
+        "index switches with 16 bits");
   auto idx = static_cast<std::uint16_t>(switches_.size());
   if (name.empty()) name = "sw" + std::to_string(idx);
   switches_.push_back(SwitchSpec{ports, std::move(name)});
+  switch_links_.emplace_back();
   return switch_id(idx);
 }
 
 NodeId Topology::add_host(std::string name) {
+  if (hosts_.size() >= kMaxNodesPerKind)
+    throw std::invalid_argument(
+        "host id space exhausted (65535 max): NIC tables and the GM header "
+        "address hosts with 16 bits");
   auto idx = static_cast<std::uint16_t>(hosts_.size());
   if (name.empty()) name = "host" + std::to_string(idx);
   hosts_.push_back(HostSpec{std::move(name)});
+  host_links_.emplace_back();
   return host_id(idx);
 }
 
@@ -66,7 +76,10 @@ LinkId Topology::connect(Endpoint a, Endpoint b, PortKind kind) {
                                 " - " + to_string(b.node) +
                                 "): NICs attach to switches");
   links_.push_back(Link{a, b, kind});
-  return static_cast<LinkId>(links_.size() - 1);
+  const auto id = static_cast<LinkId>(links_.size() - 1);
+  incident_mutable(a.node).push_back(id);
+  if (!(b.node == a.node)) incident_mutable(b.node).push_back(id);
+  return id;
 }
 
 LinkId Topology::connect_switches(std::uint16_t s1, std::uint8_t p1,
@@ -80,8 +93,21 @@ LinkId Topology::attach_host(std::uint16_t h, std::uint16_t s, std::uint8_t p,
   return connect({host_id(h), 0}, {switch_id(s), p}, kind);
 }
 
+std::vector<LinkId>& Topology::incident_mutable(NodeId n) {
+  // Only called by connect() after check_endpoint validated the node.
+  auto& lists = n.kind == NodeKind::kSwitch ? switch_links_ : host_links_;
+  return lists[n.index];
+}
+
+const std::vector<LinkId>& Topology::incident(NodeId n) const {
+  static const std::vector<LinkId> kNone;
+  const auto& lists = n.kind == NodeKind::kSwitch ? switch_links_ : host_links_;
+  if (n.index >= lists.size()) return kNone;
+  return lists[n.index];
+}
+
 std::optional<LinkId> Topology::link_at(NodeId node, std::uint8_t port) const {
-  for (LinkId i = 0; i < links_.size(); ++i) {
+  for (LinkId i : incident(node)) {
     const Link& l = links_[i];
     if ((l.a.node == node && l.a.port == port) ||
         (l.b.node == node && l.b.port == port))
@@ -91,11 +117,7 @@ std::optional<LinkId> Topology::link_at(NodeId node, std::uint8_t port) const {
 }
 
 std::vector<LinkId> Topology::links_of(NodeId node) const {
-  std::vector<LinkId> out;
-  for (LinkId i = 0; i < links_.size(); ++i) {
-    if (links_[i].a.node == node || links_[i].b.node == node) out.push_back(i);
-  }
-  return out;
+  return incident(node);
 }
 
 std::optional<Endpoint> Topology::peer(NodeId node, std::uint8_t port) const {

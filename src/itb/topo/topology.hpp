@@ -80,12 +80,26 @@ struct HostSpec {
 };
 
 /// Immutable-after-build description of a network.
+///
+/// Lookups are backed by a per-node incidence index maintained by connect(),
+/// so link_at()/peer()/links_of() cost O(node degree), not O(total links) —
+/// the difference between the mapper probing a 3-host testbed and an
+/// 8192-switch fabric.
 class Topology {
  public:
+  /// Switch/host indices are 16-bit (NIC SRAM route tables and the GM wire
+  /// header address hosts with a std::uint16_t). One id per kind is
+  /// reserved as a sentinel, so a topology holds at most 65535 switches and
+  /// 65535 hosts; add_switch()/add_host() throw past that instead of
+  /// letting the index wrap.
+  static constexpr std::size_t kMaxNodesPerKind = 0xFFFF;
+
   /// Add a switch with `ports` ports; returns its id.
+  /// Throws std::invalid_argument past kMaxNodesPerKind switches.
   NodeId add_switch(std::uint8_t ports = 8, std::string name = {});
 
   /// Add a host; returns its id.
+  /// Throws std::invalid_argument past kMaxNodesPerKind hosts.
   NodeId add_host(std::string name = {});
 
   /// Connect two endpoints with a cable of kind `kind`.
@@ -139,7 +153,15 @@ class Topology {
   std::vector<SwitchSpec> switches_;
   std::vector<HostSpec> hosts_;
   std::vector<Link> links_;
+  /// Incidence index: the links touching each node. LinkIds are assigned
+  /// monotonically by connect(), so appending keeps every list in ascending
+  /// id order — links_of() returns exactly what the old full scan did.
+  /// Self-cables appear once, matching the scan semantics.
+  std::vector<std::vector<LinkId>> switch_links_;
+  std::vector<std::vector<LinkId>> host_links_;
 
+  const std::vector<LinkId>& incident(NodeId n) const;
+  std::vector<LinkId>& incident_mutable(NodeId n);
   std::uint8_t port_count(NodeId n) const;
   void check_endpoint(Endpoint e) const;
 };
