@@ -83,6 +83,10 @@ struct PointResult {
   std::uint64_t remaps = 0;
   std::uint64_t retransmissions = 0;
   double recovery_p50_ns = 0, recovery_p99_ns = 0;
+  std::uint64_t recovery_epoch = 0;
+  std::uint64_t recovery_scoped_probes = 0;
+  std::uint64_t recovery_sources_patched = 0;
+  std::uint64_t recovery_flaps_quarantined = 0;
   sim::Time end = 0;
   bool reconciled = false;
   std::vector<telemetry::MetricSample> counters;
@@ -172,6 +176,10 @@ PointResult run_point(const Scenario& sc, double drop, const ChaosLevel& lvl,
       r.recovery_p50_ns = rec->recovery_latency().percentile(50);
       r.recovery_p99_ns = rec->recovery_latency().percentile(99);
     }
+    r.recovery_epoch = rec->epoch();
+    r.recovery_scoped_probes = rec->stats().scoped_probes;
+    r.recovery_sources_patched = rec->stats().sources_patched;
+    r.recovery_flaps_quarantined = rec->stats().flaps_quarantined;
   }
   r.retransmissions = c.port(sc.src).stats().retransmissions;
   r.end = c.queue().now();
@@ -263,6 +271,13 @@ int main(int argc, char** argv) {
       row.num["retransmissions"] = static_cast<double>(r.retransmissions);
       row.num["recovery_p50_ns"] = r.recovery_p50_ns;
       row.num["recovery_p99_ns"] = r.recovery_p99_ns;
+      row.num["recovery_epoch"] = static_cast<double>(r.recovery_epoch);
+      row.num["recovery_scoped_probes"] =
+          static_cast<double>(r.recovery_scoped_probes);
+      row.num["recovery_sources_patched"] =
+          static_cast<double>(r.recovery_sources_patched);
+      row.num["recovery_flaps_quarantined"] =
+          static_cast<double>(r.recovery_flaps_quarantined);
       row.num["sim_end_ns"] = static_cast<double>(r.end);
       row.num["exactly_once"] = ok ? 1.0 : 0.0;
       if (watchdog) {

@@ -72,6 +72,8 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
       rc.selection = config_.itb_selection;
       rc.preferred_root_host = config_.mapper_root_host;
       rc.remap_delay = config_.remap_delay;
+      rc.route_jobs = config_.route_solve_jobs;
+      rc.tuning = config_.recovery;
       recovery_ = std::make_unique<fault::RecoveryManager>(
           queue_, tracer_, config_.topology, *fault_injector_,
           std::move(nic_ptrs), rc);

@@ -55,8 +55,13 @@ struct ClusterConfig {
   /// Re-run the mapper and hot-swap route tables when a topology-affecting
   /// fault window opens or closes (no effect with manual_routes).
   bool auto_remap = true;
-  /// Detection + recompute + download time charged per remap.
+  /// Detection time from the first unabsorbed topology event to the remap
+  /// recompute firing (the recompute itself is charged per probe/source —
+  /// see RecoveryTuning).
   sim::Duration remap_delay = 500 * sim::kUs;
+  /// Incremental recovery engine tuning (scoped re-probe, table patching,
+  /// flap quarantine, verify-against-full).
+  fault::RecoveryTuning recovery;
   /// Host that runs the mapper.
   std::uint16_t mapper_root_host = 0;
   /// Threads for the mapper's per-source route solves (0 = hardware

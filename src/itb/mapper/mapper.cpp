@@ -157,6 +157,104 @@ DiscoveryReport discover(const topo::Topology& fabric, std::uint16_t root_host,
   return report;
 }
 
+namespace {
+
+/// Flood fill over switches through usable trunk links, explicit stack,
+/// everything pre-sized — the in-memory model behind both reachability
+/// entry points.
+std::vector<char> flood_switches(const topo::Topology& fabric,
+                                 std::uint16_t root_switch,
+                                 const std::vector<char>& link_up) {
+  const auto usable = [&](topo::LinkId l) {
+    return link_up.empty() || link_up[l];
+  };
+  std::vector<char> up(fabric.switch_count(), 0);
+  std::vector<std::uint16_t> stack;
+  stack.reserve(fabric.switch_count());
+  up[root_switch] = 1;
+  stack.push_back(root_switch);
+  while (!stack.empty()) {
+    const auto sw = stack.back();
+    stack.pop_back();
+    for (auto lid : fabric.links_of(topo::switch_id(sw))) {
+      if (!usable(lid)) continue;
+      const auto& l = fabric.link(lid);
+      if (l.a.node.kind != topo::NodeKind::kSwitch ||
+          l.b.node.kind != topo::NodeKind::kSwitch || l.a.node == l.b.node)
+        continue;
+      const std::uint16_t other =
+          l.a.node.index == sw ? l.b.node.index : l.a.node.index;
+      if (up[other]) continue;
+      up[other] = 1;
+      stack.push_back(other);
+    }
+  }
+  return up;
+}
+
+ReachabilityMap assemble_map(const topo::Topology& fabric,
+                             std::uint16_t root_host,
+                             const std::vector<char>& link_up) {
+  if (root_host >= fabric.host_count())
+    throw std::invalid_argument("root host out of range");
+  if (!fabric.host_attached(root_host))
+    throw std::invalid_argument("root host is unattached");
+  const auto uplink = *fabric.link_at(topo::host_id(root_host), 0);
+  if (!link_up.empty() && !link_up[uplink])
+    throw std::invalid_argument("root host uplink is masked down");
+
+  ReachabilityMap map;
+  map.root_switch = fabric.host_uplink(root_host).node.index;
+  map.switch_up = flood_switches(fabric, map.root_switch, link_up);
+  map.host_up.assign(fabric.host_count(), 0);
+  for (std::uint16_t h = 0; h < fabric.host_count(); ++h) {
+    if (!fabric.host_attached(h)) continue;
+    const auto l = *fabric.link_at(topo::host_id(h), 0);
+    if (!link_up.empty() && !link_up[l]) continue;
+    map.host_up[h] = map.switch_up[fabric.host_uplink(h).node.index];
+  }
+  for (std::uint16_t sw = 0; sw < fabric.switch_count(); ++sw)
+    if (map.switch_up[sw]) map.full_walk_probes += fabric.switch_spec(sw).ports;
+  return map;
+}
+
+}  // namespace
+
+ReachabilityMap discover_reachability(const topo::Topology& fabric,
+                                      std::uint16_t root_host,
+                                      const std::vector<char>& link_up) {
+  auto map = assemble_map(fabric, root_host, link_up);
+  map.probes_sent = map.full_walk_probes;  // a cold walk scans everything
+  return map;
+}
+
+ReachabilityMap rediscover_scoped(
+    const topo::Topology& fabric, std::uint16_t root_host,
+    const std::vector<char>& link_up, const ReachabilityMap& prev,
+    const std::vector<topo::LinkId>& changed_links) {
+  auto map = assemble_map(fabric, root_host, link_up);
+  if (prev.switch_up.size() != map.switch_up.size() ||
+      prev.root_switch != map.root_switch) {
+    map.probes_sent = map.full_walk_probes;  // nothing trustworthy to reuse
+    return map;
+  }
+  // Re-scan only the fault boundary (reachable switches touching a changed
+  // link) and whatever a restored link newly exposed; everything else is
+  // vouched for by the previous walk.
+  std::vector<char> rescan(fabric.switch_count(), 0);
+  for (auto lid : changed_links) {
+    const auto& l = fabric.link(lid);
+    if (l.a.node.kind == topo::NodeKind::kSwitch) rescan[l.a.node.index] = 1;
+    if (l.b.node.kind == topo::NodeKind::kSwitch) rescan[l.b.node.index] = 1;
+  }
+  for (std::uint16_t sw = 0; sw < fabric.switch_count(); ++sw) {
+    if (!map.switch_up[sw]) continue;
+    if (rescan[sw] || !prev.switch_up[sw])
+      map.probes_sent += fabric.switch_spec(sw).ports;
+  }
+  return map;
+}
+
 MapResult run(const topo::Topology& fabric, routing::Policy policy,
               std::uint16_t root_host, routing::ItbHostSelection selection,
               bool allow_partial, unsigned route_jobs) {

@@ -55,6 +55,42 @@ struct DiscoveryReport {
 DiscoveryReport discover(const topo::Topology& fabric, std::uint16_t root_host,
                          bool allow_partial = false);
 
+/// The mapper's live view of which switches and hosts its probes can reach
+/// under a link-usability mask, in TRUE fabric coordinates (no discovery
+/// renumbering — the incremental recovery engine keeps ids stable across
+/// fault epochs so route-table patches and reverse indexes stay valid).
+struct ReachabilityMap {
+  std::vector<char> switch_up;  // true switch id -> reachable from the root
+  std::vector<char> host_up;    // host id -> attached via a usable uplink
+  std::uint16_t root_switch = 0xFFFF;
+  /// Probe packets this pass charged (one per port of every switch scanned).
+  std::uint64_t probes_sent = 0;
+  /// What a from-scratch walk over the same reachable region would pay —
+  /// the scoped/full ratio the recovery bench reports.
+  std::uint64_t full_walk_probes = 0;
+};
+
+/// Full reachability flood from `root_host`'s uplink over links with
+/// `link_up[l]` true (empty mask = all up). Charges a full walk's probes.
+/// Throws if the root host is out of range, unattached, or masked off.
+ReachabilityMap discover_reachability(const topo::Topology& fabric,
+                                      std::uint16_t root_host,
+                                      const std::vector<char>& link_up);
+
+/// Scoped re-probe after a fault/restore round: the mapper already holds
+/// `prev` and only `changed_links` flipped usability, so it re-scans just
+/// (a) reachable switches incident to a changed link (the fault boundary)
+/// and (b) switches newly reachable since `prev` (the subtree a restored
+/// link exposes). The returned map is exactly what discover_reachability
+/// would produce; only the probe accounting differs — probes_sent counts
+/// the scoped scan, full_walk_probes the walk it replaced. Falls back to
+/// full-walk accounting when `prev` is from a different root or fabric.
+ReachabilityMap rediscover_scoped(const topo::Topology& fabric,
+                                  std::uint16_t root_host,
+                                  const std::vector<char>& link_up,
+                                  const ReachabilityMap& prev,
+                                  const std::vector<topo::LinkId>& changed_links);
+
 /// Full mapper run: discover, orient (root = first discovered switch),
 /// compute the all-pairs table under `policy`. The returned table's routes
 /// are valid on the real fabric because the discovered graph is

@@ -28,6 +28,7 @@ void Nic::load_routes(const routing::RouteTable& table) {
     if (d == host_) continue;
     routes_.at(d) = table.route(host_, d).segments;
   }
+  route_epoch_ = table.epoch();
 }
 
 std::uint64_t Nic::post_send(std::uint16_t dst, packet::Bytes payload,
@@ -44,6 +45,7 @@ std::uint64_t Nic::post_send(std::uint16_t dst, packet::Bytes payload,
   ps->token = token;
   ps->dst = dst;
   ps->type = type;
+  ps->epoch = route_epoch_;
   ps->payload = std::move(payload);
   host_queue_.push_back(h);
   sdma_pump();
@@ -104,6 +106,7 @@ void Nic::register_metrics(telemetry::MetricRegistry& registry) const {
   source("itb_pending_hits", stats_.itb_pending_hits);
   source("dropped_no_buffer", stats_.dropped_no_buffer);
   source("dropped_unroutable", stats_.dropped_unroutable);
+  source("resourced_sends", stats_.resourced_sends);
   source("rx_unknown_type", stats_.rx_unknown_type);
   source("rx_bad_crc", stats_.rx_bad_crc);
   source("rx_aborted", stats_.rx_aborted);
@@ -131,14 +134,23 @@ void Nic::send_pump() {
   cpu_.post(McpPriority::kHostRequest, timing_.send_process, [this, sh] {
     PostedSend& ps = *send_pool_.get(sh);
     if (routes_[ps.dst].empty()) {
-      // post_send checked the route, but tables hot-swap on
-      // remap: a window that disconnects ps.dst empties its
-      // route while the send sits in the SRAM pipeline. Drop
-      // it here — GM's retransmission timer re-posts once a
-      // later remap restores a route (or declares the peer
-      // dead after max_retries).
-      send_pool_.release(sh);
-      ++stats_.dropped_unroutable;
+      // post_send checked the route, but tables hot-swap on remap: a window
+      // that disconnects ps.dst empties its route while the send sits in
+      // the SRAM pipeline. If the table epoch moved since the send was
+      // admitted, the swap itself may be why — re-queue it once against the
+      // new epoch (the route may only LOOK empty because a newer table
+      // already replaced the one it was checked against). Only a send that
+      // is unroutable at the CURRENT epoch is dropped; GM's retransmission
+      // timer then re-posts once a later remap restores a route (or
+      // declares the peer dead after max_retries).
+      if (ps.epoch != route_epoch_) {
+        ps.epoch = route_epoch_;
+        ++stats_.resourced_sends;
+        host_queue_.push_back(sh);
+      } else {
+        send_pool_.release(sh);
+        ++stats_.dropped_unroutable;
+      }
       set_send_dma(false);
       if (!itb_pending_.empty()) {
         const auto next = itb_pending_.take_front();

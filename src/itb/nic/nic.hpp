@@ -71,7 +71,8 @@ struct NicStats {
   std::uint64_t itb_forwarded = 0;      // re-injections performed
   std::uint64_t itb_pending_hits = 0;   // ITB found send DMA busy
   std::uint64_t dropped_no_buffer = 0;  // drop_when_full discards
-  std::uint64_t dropped_unroutable = 0;  // route emptied by a remap mid-send
+  std::uint64_t dropped_unroutable = 0;  // unroutable at the CURRENT epoch
+  std::uint64_t resourced_sends = 0;     // re-queued across a table hot-swap
   std::uint64_t rx_unknown_type = 0;    // e.g. ITB packet at original MCP
   std::uint64_t rx_bad_crc = 0;         // corrupted packets discarded
   std::uint64_t rx_aborted = 0;         // receptions lost mid-flight
@@ -179,6 +180,11 @@ class Nic final : public net::HostHooks {
     std::uint64_t token = 0;
     std::uint16_t dst = 0;
     packet::PacketType type = packet::PacketType::kGm;
+    /// Route-table epoch the send was admitted under. A send that reaches
+    /// the head of the SRAM pipeline with no route AND a stale epoch is
+    /// re-sourced (one retry per epoch) instead of dropped — the table was
+    /// hot-swapped underneath it, and the new table may route differently.
+    std::uint64_t epoch = 0;
     packet::Bytes payload;
   };
 
@@ -246,6 +252,7 @@ class Nic final : public net::HostHooks {
   sim::Time send_dma_since_ = 0;            // busy-window start
   sim::Duration send_dma_busy_ns_ = 0;      // closed busy windows
   std::uint64_t next_token_ = 1;
+  std::uint64_t route_epoch_ = 0;           // epoch of the loaded table
   std::vector<TxRec> tx_live_;              // in-flight transmissions
 
   // Receive path.

@@ -20,18 +20,21 @@ Router::Router(const UpDown& updown, ItbHostSelection selection)
   itb_hosts_.resize(topo.switch_count());
 
   for (topo::LinkId lid = 0; lid < topo.link_count(); ++lid) {
+    // Masked-down, self-cable, and cut-off links never enter the search
+    // graph (link_usable covers all three; without a mask it reduces to the
+    // old self-cable check).
+    if (!updown.link_usable(lid)) continue;
     const auto& l = topo.link(lid);
     const bool a_sw = l.a.node.kind == topo::NodeKind::kSwitch;
     const bool b_sw = l.b.node.kind == topo::NodeKind::kSwitch;
     if (a_sw && b_sw) {
-      if (l.a.node == l.b.node) continue;  // self-cables not used for search
       const auto sa = l.a.node.index;
       const auto sb = l.b.node.index;
       adj_[sa].push_back(Hop{lid, sb, l.a.port, updown.is_up_traversal(lid, sa)});
       adj_[sb].push_back(Hop{lid, sa, l.b.port, updown.is_up_traversal(lid, sb)});
       continue;
     }
-    // Host link: every attached host is an ITB candidate.
+    // Usable host link: every reachable attached host is an ITB candidate.
     const auto sw_end = a_sw ? l.a : l.b;
     const auto host_end = a_sw ? l.b : l.a;
     itb_hosts_[sw_end.node.index].push_back(
@@ -81,7 +84,17 @@ Router::Search Router::relax(std::uint16_t src_switch, bool restrict_updown,
   auto& pred = out.pred;
 
   using QEntry = std::pair<SearchCost, State>;
-  auto cmp = [](const QEntry& a, const QEntry& b) { return a.first > b.first; };
+  // Canonical pop order: (cost, switch, phase). With cost-only ordering the
+  // winner among equal-cost states depends on heap internals (push order);
+  // breaking ties on state id makes every pred assignment a pure function
+  // of the search graph, which the incremental patcher relies on — a source
+  // whose stored routes avoid all changed links provably re-solves to the
+  // byte-identical row, so it can be skipped.
+  auto cmp = [](const QEntry& a, const QEntry& b) {
+    if (a.first != b.first) return a.first > b.first;
+    if (a.second.sw != b.second.sw) return a.second.sw > b.second.sw;
+    return a.second.phase > b.second.phase;
+  };
   std::priority_queue<QEntry, std::vector<QEntry>, decltype(cmp)> queue(cmp);
 
   dist[src_switch][0] = SearchCost{0, 0};
@@ -187,16 +200,48 @@ HostPath Router::search(std::uint16_t src_host, std::uint16_t dst_host,
   return extract(relax(ss, restrict_updown, allow_itb), src_host, dst_host);
 }
 
+bool Router::host_usable(std::uint16_t host) const {
+  const auto& topo = updown_->topology();
+  if (!topo.host_attached(host)) return false;
+  const auto lid = topo.link_at(topo::host_id(host), 0);
+  return lid && updown_->link_usable(*lid);
+}
+
+std::vector<std::uint32_t> Router::min_hops_from_switch(std::uint16_t sw) const {
+  constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(adj_.size(), kInf);
+  std::vector<std::uint16_t> frontier;
+  frontier.reserve(adj_.size());
+  dist[sw] = 0;
+  frontier.push_back(sw);
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const auto cur = frontier[head];
+    for (const Hop& h : adj_[cur]) {
+      if (dist[h.to_switch] != kInf) continue;
+      dist[h.to_switch] = dist[cur] + 1;
+      frontier.push_back(h.to_switch);
+    }
+  }
+  return dist;
+}
+
 std::vector<HostPath> Router::routes_from(std::uint16_t src_host,
                                           Policy policy) const {
   const auto& topo = updown_->topology();
+  constexpr auto kInfHops = std::numeric_limits<std::uint32_t>::max();
   std::vector<HostPath> row(topo.host_count());
-  if (!topo.host_attached(src_host)) return row;  // degraded fabric
+  if (!host_usable(src_host)) return row;  // degraded fabric
   const auto s = relax(topo.host_uplink(src_host).node.index,
                        /*restrict_updown=*/true,
                        /*allow_itb=*/policy == Policy::kItb);
   for (std::uint16_t d = 0; d < row.size(); ++d) {
-    if (d == src_host || !topo.host_attached(d)) continue;
+    if (d == src_host || !host_usable(d)) continue;
+    // Destinations cut off by the mask keep an empty entry rather than
+    // throwing in extract(); the NIC backstop (and the recovery engine's
+    // unreachable accounting) handles them.
+    const auto sd = topo.host_uplink(d).node.index;
+    if (s.dist[sd][0].hops == kInfHops && s.dist[sd][1].hops == kInfHops)
+      continue;
     row[d] = extract(s, src_host, d);
   }
   return row;
@@ -206,12 +251,14 @@ std::vector<std::size_t> Router::minimal_distances_from(
     std::uint16_t src_host) const {
   const auto& topo = updown_->topology();
   std::vector<std::size_t> row(topo.host_count(), 0);
-  if (!topo.host_attached(src_host)) return row;
+  if (!host_usable(src_host)) return row;
   const auto s = relax(topo.host_uplink(src_host).node.index,
                        /*restrict_updown=*/false, /*allow_itb=*/false);
   for (std::uint16_t d = 0; d < row.size(); ++d) {
-    if (d == src_host || !topo.host_attached(d)) continue;
-    row[d] = s.dist[topo.host_uplink(d).node.index][0].hops;
+    if (d == src_host || !host_usable(d)) continue;
+    const auto hops = s.dist[topo.host_uplink(d).node.index][0].hops;
+    if (hops == std::numeric_limits<std::uint32_t>::max()) continue;
+    row[d] = hops;
   }
   return row;
 }

@@ -103,6 +103,20 @@ class Router {
   /// True if the switch-link traversal sequence obeys up* down*.
   bool is_valid_updown(const std::vector<topo::Channel>& trunks) const;
 
+  /// True when `host` can source/sink traffic under the orientation's link
+  /// mask: attached, and its uplink usable.
+  bool host_usable(std::uint16_t host) const;
+
+  /// True when the switch has at least one usable attached host (an ITB
+  /// candidate / phase-reset point).
+  bool has_itb_host(std::uint16_t sw) const { return !itb_hosts_[sw].empty(); }
+
+  /// Unrestricted BFS hop distances from one switch over the usable trunk
+  /// graph (0xFFFFFFFF = unreachable). Since hops are the primary key of
+  /// the lex search cost, these lower-bound every restricted route — the
+  /// incremental patcher's attraction test builds on that.
+  std::vector<std::uint32_t> min_hops_from_switch(std::uint16_t sw) const;
+
   const UpDown& updown() const { return *updown_; }
   const topo::Topology& topology() const { return updown_->topology(); }
 

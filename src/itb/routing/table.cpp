@@ -1,5 +1,8 @@
 #include "itb/routing/table.hpp"
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
@@ -90,6 +93,199 @@ std::vector<std::uint32_t> RouteTable::channel_usage(
         ++usage[2 * c.link + (c.forward ? 0 : 1)];
     }
   return usage;
+}
+
+void RouteTable::index_source(const topo::Topology& topo, std::uint16_t src) {
+  auto& lu = links_used_[src];
+  auto& iu = itb_switch_used_[src];
+  std::fill(lu.begin(), lu.end(), 0);
+  std::fill(iu.begin(), iu.end(), 0);
+  const auto uplink = [&](std::uint16_t h) {
+    return topo.link_at(topo::host_id(h), 0);
+  };
+  bool any = false;
+  for (std::uint16_t d = 0; d < hosts_; ++d) {
+    if (d == src) continue;
+    const HostPath& r = routes_[static_cast<std::size_t>(src) * hosts_ + d];
+    if (r.segments.empty()) continue;
+    any = true;
+    if (auto l = uplink(d)) lu[*l] = 1;
+    for (const auto& c : r.trunk_channels) lu[c.link] = 1;
+    for (auto h : r.in_transit_hosts) {
+      if (auto l = uplink(h)) lu[*l] = 1;
+      iu[topo.host_uplink(h).node.index] = 1;
+    }
+  }
+  // The source's own uplink carries every nonempty row.
+  if (any)
+    if (auto l = uplink(src)) lu[*l] = 1;
+}
+
+std::uint64_t RouteTable::intern_state(const Router& router) {
+  const auto& topo = router.topology();
+  const auto& ud = router.updown();
+  std::vector<std::uint32_t> encoded(topo.link_count());
+  for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+    if (!ud.link_usable(l))
+      encoded[l] = 0xFFFFFFFFu;
+    else if (const auto up = ud.up_end(l))
+      encoded[l] = *up;
+    else
+      encoded[l] = 0xFFFFFFFEu;  // usable host link (never oriented)
+  }
+  for (const auto& gs : gen_states_)
+    if (gs.encoded == encoded) return gs.id;
+  // Bounded pool: evicting an old state only loses the shortcut for
+  // sources still stamped with it (ids are never reused), never soundness.
+  if (gen_states_.size() >= 64) gen_states_.erase(gen_states_.begin());
+  gen_states_.push_back(GraphState{++next_gen_, std::move(encoded)});
+  return gen_states_.back().id;
+}
+
+void RouteTable::enable_patching(const Router& router) {
+  const auto& topo = router.topology();
+  if (topo.host_count() != hosts_)
+    throw std::invalid_argument("patching needs stable topology coordinates");
+  links_used_.assign(hosts_, std::vector<char>(topo.link_count(), 0));
+  itb_switch_used_.assign(hosts_, std::vector<char>(topo.switch_count(), 0));
+  for (std::uint16_t s = 0; s < hosts_; ++s) index_source(topo, s);
+  solved_gen_.assign(hosts_, intern_state(router));
+}
+
+PatchStats RouteTable::patch(const Router& router, const LinkDelta& delta,
+                             unsigned jobs) {
+  const auto& topo = router.topology();
+  PatchStats st;
+  st.sources_total = hosts_;
+
+  const bool indexed = links_used_.size() == hosts_ &&
+                       (hosts_ == 0 ||
+                        links_used_[0].size() == topo.link_count());
+  std::vector<char> invalid(hosts_, 0);
+  const std::uint64_t target_gen = indexed ? intern_state(router) : 0;
+
+  if (delta.force_full || !indexed) {
+    std::fill(invalid.begin(), invalid.end(), 1);
+    st.full = true;
+  } else {
+    // Classify the delta. Trunk additions (including the "added" half of an
+    // orientation flip) become attraction tests; host-link churn marks the
+    // switch's ITB candidate list dirty, and an added host link additionally
+    // makes its switch a (potential) new phase-reset point.
+    struct Attract {
+      std::vector<std::uint32_t> da, db;  // db empty = reuse da (ITB point)
+      std::uint32_t extra;                // hop cost of crossing the link
+    };
+    std::vector<Attract> attracts;
+    std::vector<char> itb_dirty(topo.switch_count(), 0);
+    bool any_itb_dirty = false;
+
+    const auto classify = [&](topo::LinkId lid, bool added) {
+      const auto& l = topo.link(lid);
+      const bool a_sw = l.a.node.kind == topo::NodeKind::kSwitch;
+      const bool b_sw = l.b.node.kind == topo::NodeKind::kSwitch;
+      if (a_sw && b_sw) {
+        if (added && !(l.a.node == l.b.node))
+          attracts.push_back(
+              Attract{router.min_hops_from_switch(l.a.node.index),
+                      router.min_hops_from_switch(l.b.node.index), 1});
+        return;
+      }
+      const auto sw = a_sw ? l.a.node.index : l.b.node.index;
+      const auto host = a_sw ? l.b.node.index : l.a.node.index;
+      itb_dirty[sw] = 1;
+      any_itb_dirty = true;
+      if (added) {
+        invalid[host] = 1;  // the restored host gains a whole row
+        attracts.push_back(
+            Attract{router.min_hops_from_switch(sw), {}, 0});
+      }
+    };
+    for (auto l : delta.removed) classify(l, /*added=*/false);
+    for (auto l : delta.added) classify(l, /*added=*/true);
+
+    // Generation shortcut: a source whose last re-solve ran against this
+    // exact graph state needs nothing — its row IS routes_from's output
+    // for the patch target, whatever the delta looks like.
+    for (std::uint16_t s = 0; s < hosts_; ++s)
+      if (solved_gen_[s] == target_gen) invalid[s] = 0;
+
+    // (a) a stored route traverses a removed link; (b) an ITB candidate
+    // list the source depends on changed.
+    for (std::uint16_t s = 0; s < hosts_; ++s) {
+      if (invalid[s] || solved_gen_[s] == target_gen) continue;
+      for (auto l : delta.removed)
+        if (links_used_[s][l]) {
+          invalid[s] = 1;
+          break;
+        }
+      if (invalid[s] || !any_itb_dirty) continue;
+      const auto& iu = itb_switch_used_[s];
+      for (std::uint16_t sw = 0; sw < itb_dirty.size(); ++sw)
+        if (itb_dirty[sw] && iu[sw]) {
+          invalid[s] = 1;
+          break;
+        }
+    }
+
+    // (c) an added link (or new reset point) could attract the source: the
+    // unrestricted hop distance through it lower-bounds any restricted
+    // route, and hops are the primary lex key — so bound > stored hops
+    // proves the stored row survives; bound <= means a shorter OR
+    // equal-cost canonical winner may exist, re-solve. Empty entries toward
+    // usable destinations are conservatively re-solved too (the addition
+    // may have connected them).
+    if (!attracts.empty()) {
+      constexpr std::uint64_t kInf = std::numeric_limits<std::uint32_t>::max();
+      for (std::uint16_t s = 0; s < hosts_; ++s) {
+        if (invalid[s] || solved_gen_[s] == target_gen ||
+            !router.host_usable(s))
+          continue;
+        const auto ss = topo.host_uplink(s).node.index;
+        for (std::uint16_t d = 0; d < hosts_ && !invalid[s]; ++d) {
+          if (d == s || !router.host_usable(d)) continue;
+          const HostPath& r =
+              routes_[static_cast<std::size_t>(s) * hosts_ + d];
+          if (r.segments.empty()) {
+            invalid[s] = 1;
+            break;
+          }
+          const auto sd = topo.host_uplink(d).node.index;
+          const std::uint64_t stored = r.trunk_hops();
+          for (const auto& a : attracts) {
+            const auto& db = a.db.empty() ? a.da : a.db;
+            const std::uint64_t fwd =
+                std::min(kInf, static_cast<std::uint64_t>(a.da[ss]) +
+                                   a.extra + db[sd]);
+            const std::uint64_t rev =
+                std::min(kInf, static_cast<std::uint64_t>(db[ss]) + a.extra +
+                                   a.da[sd]);
+            if (std::min(fwd, rev) <= stored) {
+              invalid[s] = 1;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<std::uint16_t> work;
+  for (std::uint16_t s = 0; s < hosts_; ++s)
+    if (invalid[s]) work.push_back(s);
+  st.sources_resolved = work.size();
+
+  sim::ParallelRunner(jobs).run_indexed(work.size(), [&](std::size_t i) {
+    const auto s = work[i];
+    auto row = router.routes_from(s, policy_);
+    std::move(row.begin(), row.end(),
+              routes_.begin() + static_cast<std::size_t>(s) * hosts_);
+    if (indexed) {
+      index_source(topo, s);  // each worker touches only row s
+      solved_gen_[s] = target_gen;
+    }
+  });
+  return st;
 }
 
 void RouteTable::dump(std::ostream& os) const {

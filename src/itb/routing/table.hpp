@@ -15,6 +15,25 @@
 
 namespace itb::routing {
 
+/// Link-state change set handed to RouteTable::patch. Removed/added carry
+/// links whose usability went down/up since the table was computed; a link
+/// whose up*/down* orientation flipped (the masked BFS tree moved under it)
+/// appears in BOTH. Host links classify themselves: the patcher derives ITB
+/// candidate-set changes from them.
+struct LinkDelta {
+  std::vector<topo::LinkId> removed;
+  std::vector<topo::LinkId> added;
+  /// Degrade to an all-sources re-solve (queue overflow, root change).
+  bool force_full = false;
+};
+
+/// What one patch round actually recomputed.
+struct PatchStats {
+  std::size_t sources_resolved = 0;
+  std::size_t sources_total = 0;
+  bool full = false;  // every source re-solved (forced or no index)
+};
+
 class RouteTable {
  public:
   /// Compute routes for every ordered host pair under `policy`. Each source
@@ -51,10 +70,64 @@ class RouteTable {
   /// equal tables — the CI jobs-invariance gate compares these dumps.
   void dump(std::ostream& os) const;
 
+  // ---- Incremental patching --------------------------------------------
+  // The recovery engine keeps ONE table alive across fault epochs and asks
+  // it to repair itself against a re-masked Router instead of re-solving
+  // all pairs. Soundness rests on the canonical search order (see
+  // Router::relax): a source is re-solved iff (a) any stored route touches
+  // a removed link, (b) an ITB candidate set it uses changed, or (c) an
+  // added link could attract it (unrestricted-hop lower bound <= stored
+  // cost). Everything else is provably byte-identical, which the
+  // verify-against-full tests and bench hold as an invariant.
+
+  /// Monotonic epoch stamped by the recovery engine at each install; NICs
+  /// compare in-flight sends against it to re-source across hot-swaps.
+  std::uint64_t epoch() const { return epoch_; }
+  void set_epoch(std::uint64_t e) { epoch_ = e; }
+
+  /// Build the link->sources and itb-switch->sources reverse indexes from
+  /// the current rows. Must be called once after a full solve (and is
+  /// maintained by patch() for re-solved sources).
+  void enable_patching(const Router& router);
+  bool patching_enabled() const { return !links_used_.empty(); }
+
+  /// Re-solve exactly the sources invalidated by `delta` against `router`
+  /// (the post-change orientation/adjacency over the SAME topology ids the
+  /// table was built with). Returns how much work was done.
+  PatchStats patch(const Router& router, const LinkDelta& delta,
+                   unsigned jobs = 1);
+
  private:
   Policy policy_;
   std::size_t hosts_;
+  std::uint64_t epoch_ = 0;
   std::vector<HostPath> routes_;  // row-major [src * hosts_ + dst]
+
+  /// Per source: which links its stored rows traverse (trunk channels,
+  /// src/dst uplinks, in-transit host uplinks). Empty until
+  /// enable_patching().
+  std::vector<std::vector<char>> links_used_;
+  /// Per source: switches whose ITB candidate list its rows depend on.
+  std::vector<std::vector<char>> itb_switch_used_;
+
+  /// Solve-generation shortcut: each distinct (usability, orientation)
+  /// graph state is interned once; a source records the state it was last
+  /// actually re-solved under. A patch whose target state matches a
+  /// source's solve state skips it outright — routes_from is a pure
+  /// function of that state, so the stored row IS the re-solve result.
+  /// This is what makes the close of a clean down->up fault cycle free:
+  /// restoring a link returns to the boot state, and every source that was
+  /// never re-solved in between still carries the boot generation.
+  struct GraphState {
+    std::uint64_t id;
+    std::vector<std::uint32_t> encoded;
+  };
+  std::vector<GraphState> gen_states_;  // bounded intern pool
+  std::uint64_t next_gen_ = 0;
+  std::vector<std::uint64_t> solved_gen_;  // per source; empty until enabled
+
+  std::uint64_t intern_state(const Router& router);
+  void index_source(const topo::Topology& topo, std::uint16_t src);
 
   std::size_t index(std::uint16_t src, std::uint16_t dst) const;
 };

@@ -14,11 +14,25 @@ constexpr unsigned kUnreached = std::numeric_limits<unsigned>::max();
 }  // namespace
 
 UpDown::UpDown(const topo::Topology& topo, std::uint16_t root)
-    : topo_(&topo), root_(root) {
+    : UpDown(topo, root, {}, /*allow_partial=*/false) {}
+
+UpDown::UpDown(const topo::Topology& topo, std::uint16_t root,
+               std::vector<char> link_up)
+    : UpDown(topo, root, std::move(link_up), /*allow_partial=*/true) {}
+
+UpDown::UpDown(const topo::Topology& topo, std::uint16_t root,
+               std::vector<char> link_up, bool allow_partial)
+    : topo_(&topo), root_(root), link_up_(std::move(link_up)) {
   const auto n = topo.switch_count();
   if (root >= n) throw std::invalid_argument("root switch out of range");
+  if (!link_up_.empty() && link_up_.size() != topo.link_count())
+    throw std::invalid_argument("link mask size mismatch");
   depths_.assign(n, kUnreached);
   up_end_.assign(topo.link_count(), kUnoriented);
+
+  const auto usable = [&](topo::LinkId lid) {
+    return link_up_.empty() || link_up_[lid];
+  };
 
   // Breadth-first spanning tree over switches. Neighbours are visited in
   // link-id order, which makes the tree deterministic.
@@ -29,6 +43,7 @@ UpDown::UpDown(const topo::Topology& topo, std::uint16_t root)
     const auto sw = frontier.front();
     frontier.pop();
     for (auto lid : topo.links_of(topo::switch_id(sw))) {
+      if (!usable(lid)) continue;
       const auto& l = topo.link(lid);
       if (l.a.node.kind != topo::NodeKind::kSwitch ||
           l.b.node.kind != topo::NodeKind::kSwitch)
@@ -42,13 +57,19 @@ UpDown::UpDown(const topo::Topology& topo, std::uint16_t root)
       }
     }
   }
-  for (std::size_t s = 0; s < n; ++s) {
-    if (depths_[s] == kUnreached)
-      throw std::invalid_argument("switch graph is not connected");
+  if (!allow_partial) {
+    for (std::size_t s = 0; s < n; ++s) {
+      if (depths_[s] == kUnreached)
+        throw std::invalid_argument("switch graph is not connected");
+    }
   }
 
-  // Orient every switch-switch link by the two rules.
+  // Orient every switch-switch link by the two rules. Masked-down links and
+  // links with an unreached end stay unoriented: unreached depths are all
+  // kUnreached so the tie rule would otherwise mis-orient them, and no legal
+  // route can traverse them anyway.
   for (topo::LinkId lid = 0; lid < topo.link_count(); ++lid) {
+    if (!usable(lid)) continue;
     const auto& l = topo.link(lid);
     if (l.a.node.kind != topo::NodeKind::kSwitch ||
         l.b.node.kind != topo::NodeKind::kSwitch)
@@ -56,12 +77,28 @@ UpDown::UpDown(const topo::Topology& topo, std::uint16_t root)
     if (l.a.node == l.b.node) continue;
     const auto sa = l.a.node.index;
     const auto sb = l.b.node.index;
+    if (depths_[sa] == kUnreached || depths_[sb] == kUnreached) continue;
     if (depths_[sa] != depths_[sb]) {
       up_end_[lid] = depths_[sa] < depths_[sb] ? sa : sb;
     } else {
       up_end_[lid] = std::min(sa, sb);
     }
   }
+}
+
+bool UpDown::reached(std::uint16_t sw) const {
+  return depths_.at(sw) != kUnreached;
+}
+
+bool UpDown::link_usable(topo::LinkId link) const {
+  if (!link_up_.empty() && !link_up_[link]) return false;
+  const auto& l = topo_->link(link);
+  const bool a_sw = l.a.node.kind == topo::NodeKind::kSwitch;
+  const bool b_sw = l.b.node.kind == topo::NodeKind::kSwitch;
+  if (a_sw && b_sw)
+    return up_end_.at(link) != kUnoriented;  // excludes self-cables + cut-off
+  const auto sw = a_sw ? l.a.node.index : l.b.node.index;
+  return depths_[sw] != kUnreached;
 }
 
 bool UpDown::is_up_traversal(topo::LinkId link, std::uint16_t from) const {

@@ -24,12 +24,31 @@ class UpDown {
  public:
   /// Compute the orientation. `root` defaults to switch 0 (the Myrinet
   /// mapper picks a deterministic root; we follow the lowest-ID convention).
+  /// Throws when the switch graph is disconnected.
   explicit UpDown(const topo::Topology& topo, std::uint16_t root = 0);
+
+  /// Masked orientation over the true fabric: `link_up[l]` false excludes
+  /// link `l` from the spanning tree and from every route search built on
+  /// top. Unlike the unmasked constructor this tolerates switches cut off
+  /// from `root` — they stay unreached, their links unoriented, and
+  /// link_usable() reports them unusable. The incremental recovery engine
+  /// uses this to keep switch/host/link ids stable across fault epochs
+  /// instead of renumbering through a degraded-topology rebuild.
+  UpDown(const topo::Topology& topo, std::uint16_t root,
+         std::vector<char> link_up);
 
   std::uint16_t root() const { return root_; }
 
   /// BFS tree depth of a switch.
   unsigned depth(std::uint16_t sw) const { return depths_.at(sw); }
+
+  /// True when the BFS reached this switch (always true without a mask).
+  bool reached(std::uint16_t sw) const;
+
+  /// True when a route may traverse this link: not masked down, not a
+  /// self-cable, and its switch end(s) reached from the root. Host links
+  /// are usable when their switch end is reached.
+  bool link_usable(topo::LinkId link) const;
 
   /// True if traversing `link` out of switch `from` moves in the up
   /// direction (toward the link's up end). Only valid for switch-switch,
@@ -43,11 +62,16 @@ class UpDown {
   const topo::Topology& topology() const { return *topo_; }
 
  private:
+  UpDown(const topo::Topology& topo, std::uint16_t root,
+         std::vector<char> link_up, bool allow_partial);
+
   const topo::Topology* topo_;
   std::uint16_t root_;
   std::vector<unsigned> depths_;
   /// Per link: up-end switch index, or 0xFFFF for unoriented links.
   std::vector<std::uint16_t> up_end_;
+  /// Empty = no mask (every link up).
+  std::vector<char> link_up_;
 };
 
 /// Root selection matters: a poorly placed spanning-tree root lengthens
