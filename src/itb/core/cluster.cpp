@@ -8,8 +8,30 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   config_.topology.validate();
   const auto hosts = config_.topology.host_count();
 
+  // Resolve the deadlock engine: an explicit spec wins (and dictates the
+  // routing policy); otherwise derive the single-lane engine matching the
+  // configured policy.
+  if (config_.engine) {
+    engine_spec_ = *config_.engine;
+  } else {
+    switch (config_.policy) {
+      case routing::Policy::kUpDown:
+        engine_spec_ = engine::EngineSpec{engine::EngineKind::kUpDown, 1};
+        break;
+      case routing::Policy::kItb:
+        engine_spec_ = engine::EngineSpec{engine::EngineKind::kItb, 1};
+        break;
+      case routing::Policy::kVcEscape:
+        engine_spec_ = engine::EngineSpec{engine::EngineKind::kVcEscape, 2};
+        break;
+    }
+  }
+  engine_ = engine::make_engine(engine_spec_);
+  config_.policy = engine_->policy();
+
   network_ = std::make_unique<net::Network>(config_.topology,
                                             config_.net_timing, queue_, tracer_);
+  if (engine_->lane_count() > 1) network_->set_lane_policy(engine_.get());
   if (config_.flight.enabled) {
     flight_ = std::make_unique<flight::FlightRecorder>(config_.flight);
     network_->set_flight_recorder(flight_.get());
@@ -33,13 +55,21 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
       for (std::uint16_t d = 0; d < hosts; ++d)
         if (s != d && !routes[s][d].empty())
           nics_[s]->set_route(d, routes[s][d]);
+    // Hand-built routes were (by contract) planned against the root-0
+    // orientation of the true topology.
+    engine_->bind(routing::UpDown(config_.topology, 0), config_.topology, {});
   } else {
     // Run the mapper: discovery walk + route computation + table download.
     auto result = mapper::run(config_.topology, config_.policy,
                               config_.mapper_root_host, config_.itb_selection,
-                              /*allow_partial=*/false, config_.route_solve_jobs);
+                              /*allow_partial=*/false, config_.route_solve_jobs,
+                              engine_spec_.lanes);
     report_ = std::move(result.report);
     table_ = std::move(result.table);
+    // Bind the engine to the orientation the solve used (discovered
+    // coordinates, translated to true fabric indices via switch_of).
+    engine_->bind(routing::UpDown(report_->discovered, 0), config_.topology,
+                  report_->switch_of);
     for (auto& nic : nics_) nic->load_routes(*table_);
   }
 
@@ -73,6 +103,12 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
       rc.preferred_root_host = config_.mapper_root_host;
       rc.remap_delay = config_.remap_delay;
       rc.route_jobs = config_.route_solve_jobs;
+      rc.vc_lanes = engine_spec_.lanes;
+      // Recovery solves over the TRUE fabric (usability-masked), so the
+      // re-bind needs no switch translation.
+      rc.on_orientation = [this](const routing::UpDown& ud) {
+        engine_->bind(ud, config_.topology, {});
+      };
       rc.tuning = config_.recovery;
       recovery_ = std::make_unique<fault::RecoveryManager>(
           queue_, tracer_, config_.topology, *fault_injector_,
@@ -114,6 +150,16 @@ void Cluster::wire_telemetry() {
                 Mode::kRate, [net = network_.get(), c] {
                   return static_cast<double>(net->channel_busy_ns()[c]);
                 });
+  // Per-lane busy fractions when a multi-lane engine is active (channel
+  // label = channel * lanes + lane, matching the network's slot indexing).
+  if (network_->lane_count() > 1)
+    for (std::size_t slot = 0; slot < channels * network_->lane_count(); ++slot)
+      s.add_probe(
+          "lane_utilization",
+          telemetry::Labels{.host = -1, .channel = static_cast<int>(slot)},
+          Mode::kRate, [net = network_.get(), slot] {
+            return static_cast<double>(net->lane_busy_ns()[slot]);
+          });
   for (std::uint16_t h = 0; h < host_count(); ++h) {
     const telemetry::Labels labels{.host = h, .channel = -1};
     auto* nic = nics_[h].get();
@@ -139,9 +185,13 @@ void Cluster::wire_telemetry() {
 
 bool Cluster::routes_deadlock_free() const {
   if (!table_ || !report_) return true;  // manual routes: caller's business
-  routing::DependencyGraph graph(report_->discovered);
-  graph.add_table(*table_, report_->discovered);
-  return !graph.has_cycle();
+  // The table stores discovered-coordinate channels, while the live engine
+  // is bound in true coordinates — so check with a throwaway engine bound
+  // over the discovered topology itself. Single-lane engines reduce to the
+  // classical CDG either way.
+  auto check = engine::make_engine(engine_spec_);
+  check->bind(routing::UpDown(report_->discovered, 0), report_->discovered, {});
+  return engine::verify_deadlock_free(*check, *table_, report_->discovered);
 }
 
 bool Cluster::routes_buffer_wedge_free() const {

@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "itb/engine/engine.hpp"
 #include "itb/fault/fault.hpp"
 #include "itb/fault/injector.hpp"
 #include "itb/fault/recovery.hpp"
@@ -41,6 +42,12 @@ namespace itb::core {
 struct ClusterConfig {
   topo::Topology topology;
   routing::Policy policy = routing::Policy::kUpDown;
+  /// Deadlock-freedom engine. Unset = derived from `policy` (kUpDown and
+  /// kItb map to their single-lane engines, kVcEscape to a 2-lane escape
+  /// engine). When set it WINS: `policy` is overridden with the engine's
+  /// required routing policy so the table solve, the lane arbitration and
+  /// the recovery re-solves can never disagree.
+  std::optional<engine::EngineSpec> engine;
   net::NetTiming net_timing;
   nic::LanaiTiming lanai_timing;
   nic::McpOptions mcp_options;  // defaults to the ITB-capable MCP
@@ -130,6 +137,9 @@ class Cluster {
   ip::IpStack& ip(std::uint16_t host) { return *ip_stacks_.at(host); }
   nic::Nic& nic(std::uint16_t host) { return *nics_.at(host); }
   const topo::Topology& topology() const { return config_.topology; }
+  /// The active deadlock-freedom engine (always present; single-lane for
+  /// plain up*/down* and ITB clusters).
+  const engine::DeadlockEngine& deadlock_engine() const { return *engine_; }
   const routing::RouteTable* route_table() const {
     return table_ ? &*table_ : nullptr;
   }
@@ -158,6 +168,10 @@ class Cluster {
   // Before network_: every layer records through the network's pointer, so
   // the recorder must outlive the components that feed it.
   std::unique_ptr<flight::FlightRecorder> flight_;
+  // Before network_ too: the network arbitrates through the engine's
+  // LanePolicy pointer.
+  engine::EngineSpec engine_spec_;
+  std::unique_ptr<engine::DeadlockEngine> engine_;
   std::unique_ptr<net::Network> network_;
   std::optional<mapper::DiscoveryReport> report_;
   std::optional<routing::RouteTable> table_;

@@ -208,7 +208,8 @@ void RecoveryManager::fire() {
                     root_sw != last_root_switch_ || !table_->patching_enabled();
   std::uint64_t sources_resolved = 0;
   if (full) {
-    table_.emplace(*new_router, config_.policy, config_.route_jobs);
+    table_.emplace(*new_router, config_.policy, config_.route_jobs,
+                   config_.vc_lanes);
     if (config_.tuning.incremental) table_->enable_patching(*new_router);
     sources_resolved = hosts;
     ++stats_.full_resolves;
@@ -236,7 +237,7 @@ void RecoveryManager::fire() {
     ++stats_.patch_rounds;
     if (config_.tuning.verify_patches) {
       routing::RouteTable fresh(*new_router, config_.policy,
-                                config_.route_jobs);
+                                config_.route_jobs, config_.vc_lanes);
       std::ostringstream patched, solved;
       table_->dump(patched);
       fresh.dump(solved);
@@ -277,6 +278,7 @@ void RecoveryManager::fire() {
 }
 
 void RecoveryManager::install() {
+  if (config_.on_orientation) config_.on_orientation(*updown_);
   table_->set_epoch(++epoch_);
   for (nic::Nic* nic : nics_) nic->load_routes(*table_);
 

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -104,6 +105,13 @@ class RecoveryManager {
     /// Threads for the per-source route solves of a round (0 = hardware
     /// concurrency). Tables are jobs-invariant.
     unsigned route_jobs = 1;
+    /// Lane budget handed to kVcEscape solves (ignored by other policies).
+    unsigned vc_lanes = 2;
+    /// Invoked at each install with the orientation the new tables were
+    /// solved under (TRUE fabric coordinates), BEFORE the NICs receive the
+    /// tables. The cluster uses this to re-bind its deadlock engine so lane
+    /// decisions keep agreeing with the installed routes.
+    std::function<void(const routing::UpDown&)> on_orientation;
     RecoveryTuning tuning;
   };
 

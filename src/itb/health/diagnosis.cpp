@@ -17,7 +17,7 @@ const char* to_string(StallKind k) {
 
 Diagnosis WaitGraphDiagnoser::diagnose(sim::Time now) const {
   using Node = routing::DependencyGraph::Node;
-  routing::DependencyGraph graph(network_.topology());
+  routing::DependencyGraph graph(network_.topology(), network_.lane_count());
   const auto snap = network_.wait_snapshot();
 
   // The resource a blocked worm is parked on. A busy channel dominates: its
@@ -27,7 +27,8 @@ Diagnosis WaitGraphDiagnoser::diagnose(sim::Time now) const {
   auto wait_target = [](const net::Network::WormWait& w)
       -> std::optional<Node> {
     if (!w.blocked) return std::nullopt;
-    if (w.waiting_channel_busy) return Node::of_channel(w.waiting_on);
+    if (w.waiting_channel_busy)
+      return Node::of_channel(w.waiting_on, w.waiting_lane);
     if (w.gate_closed && !w.gate_fault) return Node::of_buffer(w.gate_host);
     return std::nullopt;  // fault-gated or transiently free
   };
@@ -40,8 +41,8 @@ Diagnosis WaitGraphDiagnoser::diagnose(sim::Time now) const {
     if (w.gate_fault) fault_parked = true;
     const auto target = wait_target(w);
     if (!target) continue;
-    for (const auto held : w.held)
-      graph.add_edge(Node::of_channel(held), *target);
+    for (const auto& held : w.held)
+      graph.add_edge(Node::of_channel(held.channel, held.lane), *target);
   }
 
   // Full receive pools: buf(h) frees only when host h's blocked outgoing

@@ -257,13 +257,13 @@ ReachabilityMap rediscover_scoped(
 
 MapResult run(const topo::Topology& fabric, routing::Policy policy,
               std::uint16_t root_host, routing::ItbHostSelection selection,
-              bool allow_partial, unsigned route_jobs) {
+              bool allow_partial, unsigned route_jobs, unsigned vc_lanes) {
   DiscoveryReport report = discover(fabric, root_host, allow_partial);
   // The mapper roots the spanning tree at its first discovered switch —
   // deterministic from its own point of view.
   routing::UpDown updown(report.discovered, 0);
   routing::Router router(updown, selection);
-  routing::RouteTable table(router, policy, route_jobs);
+  routing::RouteTable table(router, policy, route_jobs, vc_lanes);
   return MapResult{std::move(report), std::move(table)};
 }
 

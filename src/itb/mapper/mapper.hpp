@@ -106,6 +106,7 @@ MapResult run(const topo::Topology& fabric, routing::Policy policy,
               std::uint16_t root_host = 0,
               routing::ItbHostSelection selection =
                   routing::ItbHostSelection::kLowestIndex,
-              bool allow_partial = false, unsigned route_jobs = 1);
+              bool allow_partial = false, unsigned route_jobs = 1,
+              unsigned vc_lanes = 2);
 
 }  // namespace itb::mapper

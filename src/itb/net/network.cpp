@@ -12,11 +12,15 @@ std::vector<Network::WormWait> Network::wait_snapshot() const {
     s.handle = w->handle;
     s.src_host = w->src_host;
     s.injected_at = w->injected_at;
-    s.held = w->held;
+    s.held.reserve(w->held.size());
+    for (const auto slot : w->held)
+      s.held.push_back(HeldLane{channel_of(slot), lane_of(slot)});
     if (w->waiting_on) {
       s.blocked = true;
       s.waiting_on = *w->waiting_on;
-      s.waiting_channel_busy = channels_[channel_index(*w->waiting_on)].busy;
+      s.waiting_lane = w->waiting_lane;
+      s.waiting_channel_busy =
+          channels_[slot_of(*w->waiting_on, w->waiting_lane)].busy;
       const auto target = channel_target_[channel_index(*w->waiting_on)];
       if (target.node.kind == topo::NodeKind::kHost) {
         const std::uint16_t h = target.node.index;
@@ -50,7 +54,7 @@ bool Network::force_eject(TxHandle h) {
   for (Worm* w = live_head_; w; w = w->live_next) {
     if (w->handle != h) continue;
     const topo::Channel at = w->waiting_on.value_or(
-        w->held.empty() ? topo::Channel{} : w->held.back());
+        w->held.empty() ? topo::Channel{} : channel_of(w->held.back()));
     kill_worm(w, at, "forced ejection", /*fault=*/false);
     return true;
   }
@@ -123,6 +127,20 @@ void Network::attach_host(std::uint16_t host, HostHooks* hooks) {
   if (host >= hooks_.size()) throw std::out_of_range("host out of range");
   if (hooks_[host]) throw std::logic_error("host already attached");
   hooks_[host] = hooks;
+}
+
+void Network::set_lane_policy(const LanePolicy* policy) {
+  if (live_worms_)
+    throw std::logic_error("lane policy change with worms in flight");
+  const unsigned lanes = policy ? policy->lane_count() : 1;
+  if (lanes == 0 || lanes > 255)
+    throw std::invalid_argument("lane count must be in [1, 255]");
+  // A single-lane policy keeps the classical hot path: lane_policy_ stays
+  // null and every slot computation folds to the physical channel index.
+  lane_policy_ = lanes > 1 ? policy : nullptr;
+  lanes_ = lanes;
+  channels_.assign(topo_.link_count() * 2 * lanes_, ChannelState{});
+  lane_busy_.assign(lanes_ > 1 ? topo_.link_count() * 2 * lanes_ : 0, 0);
 }
 
 void Network::live_insert(Worm* w) {
@@ -199,6 +217,9 @@ TxHandle Network::inject(std::uint16_t host, packet::Bytes bytes,
   w->orig_len = w->bytes.size();
   w->held.clear();
   w->waiting_on.reset();
+  w->waiting_lane = 0;
+  w->lane_state =
+      LaneState{lane_policy_ ? lane_policy_->injection_lane(host) : 0, 0};
   w->tail_time = -1;
   w->rx_started = false;
   w->tx_signaled = false;
@@ -213,14 +234,17 @@ TxHandle Network::inject(std::uint16_t host, packet::Bytes bytes,
   if (activity_hook_) activity_hook_();
 
   if (flight_)
+    // detail carries the injection lane — 0 on single-lane networks, so
+    // lane-less captures (the golden fig8 fingerprint) are byte-identical.
     flight_->record(flight::EventType::kInject, queue_.now(), w->handle, host,
-                    w->orig_len);
+                    w->orig_len, w->lane_state.lane);
   tracer_.emit(queue_.now(), sim::TraceCategory::kLink, [&] {
     return "inject h" + std::to_string(host) + " tx" +
            std::to_string(w->handle) + " " + packet::describe(w->bytes);
   });
   const TxHandle handle = w->handle;
-  request_channel(w, channel_from_index(static_cast<std::uint32_t>(entry_idx)));
+  request_channel(w, static_cast<std::uint32_t>(entry_idx) * lanes_ +
+                         w->lane_state.lane);
   return handle;
 }
 
@@ -237,7 +261,9 @@ bool Network::host_rx_ready(std::uint16_t host) const {
 void Network::rearbitrate_host(std::uint16_t host) {
   if (host >= host_in_channel_.size()) return;
   const std::int32_t into = host_in_channel_[host];
-  if (into >= 0) arbitrate(channel_from_index(static_cast<std::uint32_t>(into)));
+  if (into < 0) return;
+  for (unsigned lane = 0; lane < lanes_; ++lane)
+    arbitrate(static_cast<std::uint32_t>(into) * lanes_ + lane);
 }
 
 bool Network::host_gate_closed(topo::Endpoint target) const {
@@ -252,49 +278,55 @@ void Network::on_link_state(topo::LinkId link, bool up) {
   });
   for (const bool fwd : {true, false}) {
     const topo::Channel c{link, fwd};
-    auto& st = channels_[channel_index(c)];
-    if (up) {
-      arbitrate(c);
-      continue;
+    for (unsigned lane = 0; lane < lanes_; ++lane) {
+      const std::uint32_t slot = channel_index(c) * lanes_ + lane;
+      auto& st = channels_[slot];
+      if (up) {
+        arbitrate(slot);
+        continue;
+      }
+      while (Worm* v = waiter_pop(st)) {
+        v->waiting_on.reset();
+        kill_worm(v, c, "link down");
+      }
+      if (st.busy && st.owner) kill_worm(st.owner, c, "link down");
     }
-    while (Worm* v = waiter_pop(st)) {
-      v->waiting_on.reset();
-      kill_worm(v, c, "link down");
-    }
-    if (st.busy && st.owner) kill_worm(st.owner, c, "link down");
   }
 }
 
-void Network::request_channel(Worm* w, topo::Channel c) {
+void Network::request_channel(Worm* w, std::uint32_t slot) {
+  const topo::Channel c = channel_of(slot);
   if (fault_hook_ && !fault_hook_->channel_usable(c)) {
     // The head ran into a dead link: the bytes are gone.
     kill_worm(w, c, "channel unusable");
     return;
   }
-  const std::uint32_t idx = channel_index(c);
-  auto& st = channels_[idx];
-  if (st.busy || gate_closed_idx(idx) || st.wait_head) {
+  auto& st = channels_[slot];
+  if (st.busy || gate_closed_idx(phys_of(slot)) || st.wait_head) {
     ++stats_.head_blocks;
     if (flight_)
+      // aux is the channel-LANE slot; with one lane it equals the physical
+      // channel index the pre-lane recorder wrote.
       flight_->record(flight::EventType::kHeadBlock, queue_.now(), w->handle,
-                      w->src_host, channel_index(c));
+                      w->src_host, slot);
     waiter_push(st, w);
     w->waiting_on = c;
+    w->waiting_lane = lane_of(slot);
     return;
   }
-  grant_channel(w, c);
+  grant_channel(w, slot);
 }
 
-void Network::grant_channel(Worm* w, topo::Channel c) {
-  auto& st = channels_[channel_index(c)];
+void Network::grant_channel(Worm* w, std::uint32_t slot) {
+  auto& st = channels_[slot];
   st.busy = true;
   st.busy_since = queue_.now();
   st.owner = w;
   w->waiting_on.reset();
-  w->held.push_back(c);
+  w->held.push_back(slot);
   if (flight_)
     flight_->record(flight::EventType::kGrant, queue_.now(), w->handle,
-                    w->src_host, channel_index(c));
+                    w->src_host, slot);
 
   const bool is_entry = w->held.size() == 1;
   if (is_entry) {
@@ -304,15 +336,26 @@ void Network::grant_channel(Worm* w, topo::Channel c) {
   }
 
   // The head crosses the link: propagation plus one byte of transmission.
-  const sim::Duration hop = timing_.link_latency_ns + timing_.byte_time(1);
+  sim::Duration hop = timing_.link_latency_ns + timing_.byte_time(1);
+  if (lane_policy_ && timing_.lane_mux_penalty_ns > 0) {
+    // Lane mux cost: another lane of the same physical channel is already
+    // streaming, so this head's flits interleave behind it.
+    const std::uint32_t base = phys_of(slot) * lanes_;
+    for (unsigned l = 0; l < lanes_; ++l)
+      if (base + l != slot && channels_[base + l].busy) {
+        hop += timing_.lane_mux_penalty_ns;
+        break;
+      }
+  }
   w->pipe_ns += hop;
-  const auto arrival = channel_target_[channel_index(c)];
+  const auto arrival = channel_target_[phys_of(slot)];
   w->pending =
       queue_.schedule_in(hop, [this, w, arrival] { head_at_node(w, arrival); });
 }
 
-void Network::arbitrate(topo::Channel c) {
-  auto& st = channels_[channel_index(c)];
+void Network::arbitrate(std::uint32_t slot) {
+  auto& st = channels_[slot];
+  const topo::Channel c = channel_of(slot);
   if (fault_hook_ && !fault_hook_->channel_usable(c)) {
     while (Worm* v = waiter_pop(st)) {
       v->waiting_on.reset();
@@ -321,9 +364,9 @@ void Network::arbitrate(topo::Channel c) {
     return;
   }
   if (st.busy || !st.wait_head) return;
-  if (gate_closed_idx(channel_index(c))) return;
+  if (gate_closed_idx(phys_of(slot))) return;
   Worm* next = waiter_pop(st);
-  grant_channel(next, c);
+  grant_channel(next, slot);
 }
 
 void Network::head_at_node(Worm* w, topo::Endpoint arrival) {
@@ -353,7 +396,7 @@ void Network::head_at_node(Worm* w, topo::Endpoint arrival) {
   // Fall-through latency: base plus the LAN penalty for each LAN port
   // crossed (the incoming link and the outgoing link each count, §5).
   sim::Duration ft = timing_.switch_fallthrough_ns;
-  if (channel_is_lan_[channel_index(w->held.back())])
+  if (channel_is_lan_[phys_of(w->held.back())])
     ft += timing_.lan_port_penalty_ns;
   if (channel_is_lan_[out_idx]) ft += timing_.lan_port_penalty_ns;
   w->pipe_ns += ft;
@@ -366,10 +409,17 @@ void Network::head_at_node(Worm* w, topo::Endpoint arrival) {
            std::to_string(arrival.node.index) + " -> port " +
            std::to_string(out_port);
   });
+  // The lane is decided HERE, once per traversal, and captured in the
+  // closure: lane_for mutates the worm's ladder state, so re-evaluating it
+  // on a grant-after-wait would double-advance the ladder.
   const topo::Channel out =
       channel_from_index(static_cast<std::uint32_t>(out_idx));
+  const std::uint8_t lane =
+      lane_policy_ ? lane_policy_->lane_for(w->lane_state, out) : 0;
+  const std::uint32_t slot =
+      static_cast<std::uint32_t>(out_idx) * lanes_ + lane;
   w->pending =
-      queue_.schedule_in(ft, [this, w, out] { request_channel(w, out); });
+      queue_.schedule_in(ft, [this, w, slot] { request_channel(w, slot); });
 }
 
 void Network::complete_at_host(Worm* w, std::uint16_t host,
@@ -456,12 +506,13 @@ void Network::complete_at_host(Worm* w, std::uint16_t host,
 }
 
 void Network::release_channels(Worm* w) {
-  for (auto c : w->held) {
-    const auto idx = channel_index(c);
-    auto& st = channels_[idx];
+  for (const auto slot : w->held) {
+    auto& st = channels_[slot];
     st.busy = false;
     st.owner = nullptr;
-    channel_busy_[idx] += queue_.now() - st.busy_since;
+    const sim::Duration busy = queue_.now() - st.busy_since;
+    channel_busy_[phys_of(slot)] += busy;
+    if (!lane_busy_.empty()) lane_busy_[slot] += busy;
   }
   // Grant to waiters only after every channel is marked free; arbitration
   // may kill a waiter (fault window), which releases further channels —
@@ -492,7 +543,7 @@ void Network::kill_worm(Worm* w, topo::Channel at, const char* why,
   queue_.cancel(w->early_event);
   queue_.cancel(w->src_done_event);
   if (w->waiting_on) {
-    waiter_unlink(channels_[channel_index(*w->waiting_on)], w);
+    waiter_unlink(channels_[slot_of(*w->waiting_on, w->waiting_lane)], w);
     w->waiting_on.reset();
   }
   ++stats_.lost;
@@ -555,6 +606,13 @@ void Network::register_metrics(telemetry::MetricRegistry& registry) const {
         "net", "channel_busy_ns", telemetry::MetricKind::kGauge,
         [this, c] { return static_cast<double>(channel_busy_[c]); },
         telemetry::Labels{.host = -1, .channel = static_cast<int>(c)});
+  // Per-lane occupancy (multi-lane engines only); the channel label is the
+  // channel-lane slot, phys = slot / lane_count, lane = slot % lane_count.
+  for (std::size_t s = 0; s < lane_busy_.size(); ++s)
+    registry.register_source(
+        "net", "lane_busy_ns", telemetry::MetricKind::kGauge,
+        [this, s] { return static_cast<double>(lane_busy_[s]); },
+        telemetry::Labels{.host = -1, .channel = static_cast<int>(s)});
 }
 
 }  // namespace itb::net

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "itb/flight/recorder.hpp"
+#include "itb/net/lanes.hpp"
 #include "itb/net/timing.hpp"
 #include "itb/net/wire_packet.hpp"
 #include "itb/sim/event_queue.hpp"
@@ -141,6 +142,19 @@ class Network {
   /// the network or be cleared before destruction.
   void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
 
+  /// Install (or clear, with nullptr) the virtual-lane policy. Resizes the
+  /// per-lane channel tables, so it must run before any traffic and with
+  /// nothing in flight; the policy must outlive the network or be cleared.
+  /// A policy with lane_count() == 1 (or nullptr) leaves the network on the
+  /// classical single-lane hot path — zero extra work per event.
+  void set_lane_policy(const LanePolicy* policy);
+  unsigned lane_count() const { return lanes_; }
+
+  /// Lane the policy assigns to injections at `host` (0 without a policy).
+  std::uint8_t injection_lane(std::uint16_t host) const {
+    return lane_policy_ ? lane_policy_->injection_lane(host) : 0;
+  }
+
   /// Install (or clear) the flight recorder. Off by default; when set,
   /// every lifecycle station (inject, channel block/grant, per-hop head
   /// motion, NIC eject, tail, terminal fates) records one packed event.
@@ -168,26 +182,36 @@ class Network {
   const topo::Topology& topology() const { return topo_; }
 
   /// Total time each directed channel spent reserved; index 2*link +
-  /// (forward ? 0 : 1). Load-balance benches read this.
+  /// (forward ? 0 : 1). Load-balance benches read this. With lanes the
+  /// physical channel accumulates every lane's busy time.
   const std::vector<sim::Duration>& channel_busy_ns() const {
     return channel_busy_;
   }
+
+  /// Per-lane busy time, index (2*link + dir) * lane_count() + lane. Empty
+  /// on a single-lane network (channel_busy_ns() is already per lane then).
+  const std::vector<sim::Duration>& lane_busy_ns() const { return lane_busy_; }
 
   /// Number of worms currently in flight (for drain loops in tests).
   std::size_t in_flight() const { return live_worms_; }
 
   /// One in-flight worm's wait state, as seen by the liveness diagnoser
-  /// (health::WaitGraphDiagnoser): which channels it holds and what it is
-  /// parked on. `blocked` worms sit in a channel's waiter queue; the gate
+  /// (health::WaitGraphDiagnoser): which channel lanes it holds and what it
+  /// is parked on. `blocked` worms sit in a lane's waiter queue; the gate
   /// fields describe why a free channel into a host still was not granted.
+  struct HeldLane {
+    topo::Channel channel{};
+    std::uint8_t lane = 0;
+  };
   struct WormWait {
     TxHandle handle = 0;
     std::uint16_t src_host = 0;
     sim::Time injected_at = 0;
-    std::vector<topo::Channel> held;
+    std::vector<HeldLane> held;
     bool blocked = false;
     topo::Channel waiting_on{};       // valid iff blocked
-    bool waiting_channel_busy = false;  // another worm owns waiting_on
+    std::uint8_t waiting_lane = 0;    // valid iff blocked
+    bool waiting_channel_busy = false;  // another worm owns waiting_on's lane
     bool gate_closed = false;  // waiting_on enters a host whose gate is shut
     bool gate_fault = false;   // ... shut by the fault hook (NIC stall)
     std::uint16_t gate_host = 0;  // valid iff gate_closed
@@ -245,8 +269,13 @@ class Network {
     sim::Time data_ready = 0;   // resolved at injection grant
     sim::Duration pipe_ns = 0;  // fixed per-hop latency the head has paid
     std::size_t orig_len = 0;
-    std::vector<topo::Channel> held;
-    std::optional<topo::Channel> waiting_on;  // parked in this channel's queue
+    /// Channel-lane slots held (index into channels_), route order. Plain
+    /// ints rather than Channel+lane pairs: the slot IS the arbitration
+    /// identity, and phys/lane decompose from it when needed.
+    std::vector<std::uint32_t> held;
+    std::optional<topo::Channel> waiting_on;  // parked in this lane's queue
+    std::uint8_t waiting_lane = 0;            // valid iff waiting_on
+    LaneState lane_state;  // mutated by the lane policy per traversal
     sim::Time tail_time = -1;  // set once the head reaches the final NIC
     bool rx_started = false;   // on_rx_head fired at the destination
     bool tx_signaled = false;  // on_tx_complete / on_tx_dropped fired
@@ -264,9 +293,11 @@ class Network {
     sim::PoolHandle self;  // this worm's own pool slot
   };
 
-  /// Per directed channel. Waiters are an intrusive doubly-linked FIFO
-  /// threaded through the worms themselves (a worm waits on at most one
-  /// channel), replacing the per-channel std::deque.
+  /// Per directed channel LANE (one entry per lane of each channel; a
+  /// single-lane network degenerates to the classical per-channel table).
+  /// Waiters are an intrusive doubly-linked FIFO threaded through the worms
+  /// themselves (a worm waits on at most one lane), replacing the
+  /// per-channel std::deque.
   struct ChannelState {
     bool busy = false;
     sim::Time busy_since = 0;
@@ -282,14 +313,17 @@ class Network {
   NetworkStats stats_;
   FaultHook* fault_hook_ = nullptr;
   flight::FlightRecorder* flight_ = nullptr;
+  const LanePolicy* lane_policy_ = nullptr;  // non-null only when lanes_ > 1
+  unsigned lanes_ = 1;
   std::function<void()> activity_hook_;
 
   std::vector<HostHooks*> hooks_;       // by host index
   std::vector<std::uint8_t> rx_ready_;  // by host index (byte, not
                                         // vector<bool>: the host gate reads
                                         // this on every channel request)
-  std::vector<ChannelState> channels_;  // by channel index
-  std::vector<sim::Duration> channel_busy_;
+  std::vector<ChannelState> channels_;  // by channel-lane slot
+  std::vector<sim::Duration> channel_busy_;  // per PHYSICAL channel
+  std::vector<sim::Duration> lane_busy_;     // per slot; empty when lanes_==1
   sim::SlabPool<Worm> worm_pool_;
   Worm* live_head_ = nullptr;  // in-flight worms, injection order
   Worm* live_tail_ = nullptr;
@@ -315,6 +349,19 @@ class Network {
   }
   static topo::Channel channel_from_index(std::uint32_t idx) {
     return topo::Channel{idx >> 1, (idx & 1u) == 0};
+  }
+  // Channel-lane slots: channels_[phys * lanes_ + lane]. With lanes_ == 1
+  // slot == physical channel index, so every single-lane run takes the
+  // exact pre-lane arithmetic (slot/1, slot%1 fold away).
+  std::uint32_t slot_of(topo::Channel c, std::uint8_t lane) const {
+    return channel_index(c) * lanes_ + lane;
+  }
+  std::uint32_t phys_of(std::uint32_t slot) const { return slot / lanes_; }
+  std::uint8_t lane_of(std::uint32_t slot) const {
+    return static_cast<std::uint8_t>(slot % lanes_);
+  }
+  topo::Channel channel_of(std::uint32_t slot) const {
+    return channel_from_index(phys_of(slot));
   }
   std::size_t node_slot(topo::NodeId n) const {
     return (n.kind == topo::NodeKind::kHost ? topo_.switch_count() : 0) +
@@ -344,12 +391,12 @@ class Network {
            !fault_hook_->host_accepting(static_cast<std::uint16_t>(h));
   }
 
-  void request_channel(Worm* w, topo::Channel c);
-  void grant_channel(Worm* w, topo::Channel c);
+  void request_channel(Worm* w, std::uint32_t slot);
+  void grant_channel(Worm* w, std::uint32_t slot);
   void release_channels(Worm* w);
-  /// Grant `c` to its front waiter if it is free, usable and ungated; if the
-  /// fault hook vetoes the channel, every parked waiter is killed.
-  void arbitrate(topo::Channel c);
+  /// Grant the slot to its front waiter if it is free, usable and ungated;
+  /// if the fault hook vetoes the channel, every parked waiter is killed.
+  void arbitrate(std::uint32_t slot);
   void head_at_node(Worm* w, topo::Endpoint arrival);
   void complete_at_host(Worm* w, std::uint16_t host, sim::Time head_arrival);
   void drop(Worm* w, const char* why);

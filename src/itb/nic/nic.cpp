@@ -125,6 +125,9 @@ void Nic::register_metrics(telemetry::MetricRegistry& registry) const {
   registry.register_source(
       "nic", "send_pool_high_water", telemetry::MetricKind::kGauge,
       [this] { return static_cast<double>(send_pool_.high_water()); }, labels);
+  registry.register_source(
+      "nic", "injection_lane", telemetry::MetricKind::kGauge,
+      [this] { return static_cast<double>(injection_lane()); }, labels);
 }
 
 void Nic::send_pump() {

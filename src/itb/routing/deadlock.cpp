@@ -5,8 +5,10 @@
 
 namespace itb::routing {
 
-DependencyGraph::DependencyGraph(const topo::Topology& topo)
-    : channels_(topo.link_count() * 2),
+DependencyGraph::DependencyGraph(const topo::Topology& topo,
+                                 unsigned lane_count)
+    : lanes_(lane_count == 0 ? 1 : lane_count),
+      channels_(topo.link_count() * 2 * lanes_),
       hosts_(topo.host_count()),
       out_(channels_ + hosts_) {}
 
@@ -135,7 +137,9 @@ std::string DependencyGraph::describe(const std::vector<Node>& nodes) {
       s += "buf(h" + std::to_string(n.host) + ")";
     } else {
       s += "ch(" + std::to_string(n.channel.link) +
-           (n.channel.forward ? ">)" : "<)");
+           (n.channel.forward ? ">" : "<");
+      if (n.lane > 0) s += ",l" + std::to_string(n.lane);
+      s += ")";
     }
   }
   return s;

@@ -30,28 +30,36 @@
 namespace itb::routing {
 
 /// CDG over the directed channels of a topology, optionally augmented with
-/// one buffer node per host (the NIC's in-transit receive pool).
+/// one buffer node per host (the NIC's in-transit receive pool). With
+/// `lane_count` > 1 each directed channel splits into that many virtual-lane
+/// nodes, so a multi-lane engine's deadlock-freedom claim ("the per-lane CDG
+/// under my lane-selection function is acyclic") is checked in the same
+/// vocabulary as the classical single-lane graph.
 class DependencyGraph {
  public:
-  /// Graph node: a directed channel, or a host's buffer pool.
+  /// Graph node: a directed channel lane, or a host's buffer pool.
   struct Node {
     bool is_buffer = false;
     topo::Channel channel{};  // valid when !is_buffer
     std::uint16_t host = 0;   // valid when is_buffer
+    std::uint8_t lane = 0;    // valid when !is_buffer
 
-    static Node of_channel(topo::Channel c) { return Node{false, c, 0}; }
+    static Node of_channel(topo::Channel c, std::uint8_t lane = 0) {
+      return Node{false, c, 0, lane};
+    }
     static Node of_buffer(std::uint16_t h) {
-      return Node{true, topo::Channel{}, h};
+      return Node{true, topo::Channel{}, h, 0};
     }
     bool operator==(const Node& o) const {
       return is_buffer == o.is_buffer &&
              (is_buffer ? host == o.host
                         : (channel.link == o.channel.link &&
-                           channel.forward == o.channel.forward));
+                           channel.forward == o.channel.forward &&
+                           lane == o.lane));
     }
   };
 
-  explicit DependencyGraph(const topo::Topology& topo);
+  explicit DependencyGraph(const topo::Topology& topo, unsigned lane_count = 1);
 
   /// Add the dependencies contributed by one route. Channel chains restart
   /// after every ITB ejection (and include the host access channels, which
@@ -86,29 +94,34 @@ class DependencyGraph {
   /// buffer node — the §8 wedge signature.
   bool cycle_through_buffer() const;
 
-  /// "ch(3>) -> buf(h1) -> ch(5<)" rendering of a node sequence.
+  /// "ch(3>) -> buf(h1) -> ch(5<,l1)" rendering of a node sequence (the
+  /// lane suffix only appears for lanes above 0, so single-lane renderings
+  /// are unchanged).
   static std::string describe(const std::vector<Node>& nodes);
 
   std::size_t edge_count() const;
+  unsigned lane_count() const { return lanes_; }
 
  private:
-  std::size_t channels_;  // directed channel node count (2 * links)
+  unsigned lanes_;        // virtual lanes per directed channel
+  std::size_t channels_;  // channel-lane node count (2 * links * lanes_)
   std::size_t hosts_;     // buffer node count
   std::vector<std::vector<std::uint32_t>> out_;  // adjacency by node index
 
-  // Node indexing: channels occupy [0, channels_), buffer nodes follow at
-  // channels_ + host.
-  static std::uint32_t channel_index(topo::Channel c) {
-    return 2 * c.link + (c.forward ? 0 : 1);
-  }
+  // Node indexing: channel lanes occupy [0, channels_) grouped by physical
+  // channel (2*link + dir, then lane), buffer nodes follow at channels_ +
+  // host.
   std::uint32_t index(Node n) const {
-    return n.is_buffer ? static_cast<std::uint32_t>(channels_ + n.host)
-                       : channel_index(n.channel);
+    if (n.is_buffer) return static_cast<std::uint32_t>(channels_ + n.host);
+    return (2 * n.channel.link + (n.channel.forward ? 0 : 1)) * lanes_ +
+           n.lane;
   }
   Node node_of(std::uint32_t idx) const {
     if (idx >= channels_)
       return Node::of_buffer(static_cast<std::uint16_t>(idx - channels_));
-    return Node::of_channel(topo::Channel{idx / 2, (idx % 2) == 0});
+    const std::uint32_t phys = idx / lanes_;
+    return Node::of_channel(topo::Channel{phys / 2, (phys % 2) == 0},
+                            static_cast<std::uint8_t>(idx % lanes_));
   }
 
   void add_route_impl(const HostPath& path, const topo::Topology& topo,

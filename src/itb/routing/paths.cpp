@@ -225,15 +225,33 @@ std::vector<std::uint32_t> Router::min_hops_from_switch(std::uint16_t sw) const 
   return dist;
 }
 
-std::vector<HostPath> Router::routes_from(std::uint16_t src_host,
-                                          Policy policy) const {
+Router::SolveFlags Router::solve_flags(Policy policy) {
+  switch (policy) {
+    case Policy::kUpDown:
+      return {/*restrict_updown=*/true, /*allow_itb=*/false};
+    case Policy::kItb:
+      return {/*restrict_updown=*/true, /*allow_itb=*/true};
+    case Policy::kVcEscape:
+      // Minimal lanes carry the primary search; the escape lane's
+      // restricted routes are solved lazily per source when the ladder
+      // cannot absorb a minimal path.
+      return {/*restrict_updown=*/false, /*allow_itb=*/false};
+  }
+  return {/*restrict_updown=*/true, /*allow_itb=*/false};  // unreachable
+}
+
+std::vector<HostPath> Router::routes_from(std::uint16_t src_host, Policy policy,
+                                          unsigned vc_lanes) const {
   const auto& topo = updown_->topology();
   constexpr auto kInfHops = std::numeric_limits<std::uint32_t>::max();
   std::vector<HostPath> row(topo.host_count());
   if (!host_usable(src_host)) return row;  // degraded fabric
-  const auto s = relax(topo.host_uplink(src_host).node.index,
-                       /*restrict_updown=*/true,
-                       /*allow_itb=*/policy == Policy::kItb);
+  const auto ss = topo.host_uplink(src_host).node.index;
+  const SolveFlags flags = solve_flags(policy);
+  const auto s = relax(ss, flags.restrict_updown, flags.allow_itb);
+  // Restricted fallback for VC-escape routes whose minimal path needs more
+  // lanes than the ladder has; solved at most once per source.
+  std::optional<Search> escape;
   for (std::uint16_t d = 0; d < row.size(); ++d) {
     if (d == src_host || !host_usable(d)) continue;
     // Destinations cut off by the mask keep an empty entry rather than
@@ -243,6 +261,12 @@ std::vector<HostPath> Router::routes_from(std::uint16_t src_host,
     if (s.dist[sd][0].hops == kInfHops && s.dist[sd][1].hops == kInfHops)
       continue;
     row[d] = extract(s, src_host, d);
+    if (policy == Policy::kVcEscape &&
+        updown_segments(row[d].trunk_channels) > vc_lanes) {
+      if (!escape) escape = relax(ss, /*restrict_updown=*/true,
+                                  /*allow_itb=*/false);
+      row[d] = extract(*escape, src_host, d);
+    }
   }
   return row;
 }
@@ -294,6 +318,22 @@ bool Router::is_valid_updown(const std::vector<topo::Channel>& trunks) const {
     if (!up) went_down = true;
   }
   return true;
+}
+
+std::size_t Router::updown_segments(
+    const std::vector<topo::Channel>& trunks) const {
+  std::size_t segments = 1;
+  bool went_down = false;
+  for (const auto& c : trunks) {
+    const auto from = updown_->topology().channel_source(c).node.index;
+    const bool up = updown_->is_up_traversal(c.link, from);
+    if (up && went_down) {
+      ++segments;
+      went_down = false;
+    }
+    if (!up) went_down = true;
+  }
+  return segments;
 }
 
 std::string describe(const HostPath& path, const topo::Topology& topo) {

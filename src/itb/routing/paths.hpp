@@ -26,8 +26,9 @@ namespace itb::routing {
 /// Which restriction a route table is computed under. Lives here (not in
 /// table.hpp) so the per-source solver can take it without a header cycle.
 enum class Policy : std::uint8_t {
-  kUpDown,  // stock GM routing
-  kItb,     // minimal routing legalised with in-transit buffers
+  kUpDown,    // stock GM routing
+  kItb,       // minimal routing legalised with in-transit buffers
+  kVcEscape,  // minimal routing legalised with virtual-channel lanes
 };
 
 const char* to_string(Policy p);
@@ -89,8 +90,13 @@ class Router {
   /// dst == src or an unattached endpoint is an empty HostPath. Identical
   /// paths to calling updown_route()/itb_route() per pair, at 1/H the
   /// search cost — the primitive RouteTable parallelises over sources.
-  std::vector<HostPath> routes_from(std::uint16_t src_host,
-                                    Policy policy) const;
+  ///
+  /// `vc_lanes` only matters under Policy::kVcEscape: a minimal route is
+  /// kept when its up*/down* segment count fits the lane ladder
+  /// (updown_segments() <= vc_lanes); otherwise the pair falls back to the
+  /// plain up*/down* route, which rides lane 0 end to end.
+  std::vector<HostPath> routes_from(std::uint16_t src_host, Policy policy,
+                                    unsigned vc_lanes = 2) const;
 
   /// Trunk-hop distance of the unrestricted shortest path.
   std::size_t minimal_distance(std::uint16_t src_host,
@@ -102,6 +108,12 @@ class Router {
 
   /// True if the switch-link traversal sequence obeys up* down*.
   bool is_valid_updown(const std::vector<topo::Channel>& trunks) const;
+
+  /// Number of maximal up*/down*-valid segments in the traversal sequence:
+  /// 1 + the number of down->up transitions (1 for an empty or fully valid
+  /// sequence). The VC-escape engine assigns segment j to lane j, so a
+  /// minimal route is ladder-feasible iff updown_segments() <= lane count.
+  std::size_t updown_segments(const std::vector<topo::Channel>& trunks) const;
 
   /// True when `host` can source/sink traffic under the orientation's link
   /// mask: attached, and its uplink usable.
@@ -173,6 +185,17 @@ class Router {
                bool allow_itb) const;
   HostPath extract(const Search& s, std::uint16_t src_host,
                    std::uint16_t dst_host) const;
+
+  /// The ONE mapping from a policy to its primary search restriction. Every
+  /// route-solve entry point derives its flags here, so a policy with no
+  /// routing restriction (kVcEscape's minimal lanes) is just another row of
+  /// this table — no caller special-cases it, and minimal_fraction reports
+  /// 100% for it without a policy branch.
+  struct SolveFlags {
+    bool restrict_updown;
+    bool allow_itb;
+  };
+  static SolveFlags solve_flags(Policy policy);
 
   HostPath search(std::uint16_t src_host, std::uint16_t dst_host,
                   bool restrict_updown, bool allow_itb) const;

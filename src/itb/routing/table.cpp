@@ -11,17 +11,29 @@
 namespace itb::routing {
 
 const char* to_string(Policy p) {
-  return p == Policy::kUpDown ? "up*/down*" : "UD+ITB";
+  switch (p) {
+    case Policy::kUpDown:
+      return "up*/down*";
+    case Policy::kItb:
+      return "UD+ITB";
+    case Policy::kVcEscape:
+      return "VC-escape";
+  }
+  return "?";
 }
 
-RouteTable::RouteTable(const Router& router, Policy policy, unsigned jobs)
-    : policy_(policy), hosts_(router.topology().host_count()) {
+RouteTable::RouteTable(const Router& router, Policy policy, unsigned jobs,
+                       unsigned vc_lanes)
+    : policy_(policy),
+      hosts_(router.topology().host_count()),
+      vc_lanes_(vc_lanes) {
   // Unattached hosts appear in degraded topologies (fault windows that cut
   // a host off); routes_from leaves their pairs — and the diagonal — as
   // empty HostPaths, exactly like the old per-pair loop.
   routes_.resize(hosts_ * hosts_);
   sim::ParallelRunner(jobs).run_indexed(hosts_, [&](std::size_t s) {
-    auto row = router.routes_from(static_cast<std::uint16_t>(s), policy_);
+    auto row =
+        router.routes_from(static_cast<std::uint16_t>(s), policy_, vc_lanes_);
     std::move(row.begin(), row.end(), routes_.begin() + s * hosts_);
   });
 }
@@ -95,7 +107,8 @@ std::vector<std::uint32_t> RouteTable::channel_usage(
   return usage;
 }
 
-void RouteTable::index_source(const topo::Topology& topo, std::uint16_t src) {
+void RouteTable::index_source(const Router& router, std::uint16_t src) {
+  const auto& topo = router.topology();
   auto& lu = links_used_[src];
   auto& iu = itb_switch_used_[src];
   std::fill(lu.begin(), lu.end(), 0);
@@ -119,6 +132,22 @@ void RouteTable::index_source(const topo::Topology& topo, std::uint16_t src) {
   // The source's own uplink carries every nonempty row.
   if (any)
     if (auto l = uplink(src)) lu[*l] = 1;
+  // A VC row longer than its minimal distance is an escape fallback; the
+  // source carries the conservative "re-solve on any delta" mark (see the
+  // vc_fallback_ comment in the header).
+  if (policy_ == Policy::kVcEscape) {
+    vc_fallback_[src] = 0;
+    const auto dist = router.minimal_distances_from(src);
+    for (std::uint16_t d = 0; d < hosts_; ++d) {
+      if (d == src) continue;
+      const HostPath& r = routes_[static_cast<std::size_t>(src) * hosts_ + d];
+      if (r.segments.empty()) continue;
+      if (r.trunk_hops() > dist[d]) {
+        vc_fallback_[src] = 1;
+        break;
+      }
+    }
+  }
 }
 
 std::uint64_t RouteTable::intern_state(const Router& router) {
@@ -148,7 +177,8 @@ void RouteTable::enable_patching(const Router& router) {
     throw std::invalid_argument("patching needs stable topology coordinates");
   links_used_.assign(hosts_, std::vector<char>(topo.link_count(), 0));
   itb_switch_used_.assign(hosts_, std::vector<char>(topo.switch_count(), 0));
-  for (std::uint16_t s = 0; s < hosts_; ++s) index_source(topo, s);
+  vc_fallback_.assign(hosts_, 0);
+  for (std::uint16_t s = 0; s < hosts_; ++s) index_source(router, s);
   solved_gen_.assign(hosts_, intern_state(router));
 }
 
@@ -209,6 +239,14 @@ PatchStats RouteTable::patch(const Router& router, const LinkDelta& delta,
     // for the patch target, whatever the delta looks like.
     for (std::uint16_t s = 0; s < hosts_; ++s)
       if (solved_gen_[s] == target_gen) invalid[s] = 0;
+
+    // VC-escape fallback rows depend on the whole orientation, not just the
+    // links they traverse — conservatively re-solve their sources on any
+    // non-empty delta (unless the generation shortcut already proved them).
+    if (policy_ == Policy::kVcEscape &&
+        (!delta.removed.empty() || !delta.added.empty()))
+      for (std::uint16_t s = 0; s < hosts_; ++s)
+        if (vc_fallback_[s] && solved_gen_[s] != target_gen) invalid[s] = 1;
 
     // (a) a stored route traverses a removed link; (b) an ITB candidate
     // list the source depends on changed.
@@ -277,11 +315,11 @@ PatchStats RouteTable::patch(const Router& router, const LinkDelta& delta,
 
   sim::ParallelRunner(jobs).run_indexed(work.size(), [&](std::size_t i) {
     const auto s = work[i];
-    auto row = router.routes_from(s, policy_);
+    auto row = router.routes_from(s, policy_, vc_lanes_);
     std::move(row.begin(), row.end(),
               routes_.begin() + static_cast<std::size_t>(s) * hosts_);
     if (indexed) {
-      index_source(topo, s);  // each worker touches only row s
+      index_source(router, s);  // each worker touches only row s
       solved_gen_[s] = target_gen;
     }
   });
@@ -289,7 +327,11 @@ PatchStats RouteTable::patch(const Router& router, const LinkDelta& delta,
 }
 
 void RouteTable::dump(std::ostream& os) const {
-  os << "policy=" << to_string(policy_) << " hosts=" << hosts_ << "\n";
+  os << "policy=" << to_string(policy_);
+  // Lane count is part of a VC table's identity (it decides which pairs
+  // fall back); keep UD/ITB headers byte-identical to the pre-engine dumps.
+  if (policy_ == Policy::kVcEscape) os << " lanes=" << vc_lanes_;
+  os << " hosts=" << hosts_ << "\n";
   for (std::uint16_t s = 0; s < hosts_; ++s)
     for (std::uint16_t d = 0; d < hosts_; ++d) {
       if (s == d) continue;

@@ -42,10 +42,14 @@ class RouteTable {
   /// source writes only its own row, and the row content depends only on
   /// (router, policy, src), so the table is bit-identical for any job count
   /// — CI byte-compares jobs=1 against jobs=8 dumps to hold that line.
-  explicit RouteTable(const Router& router, Policy policy, unsigned jobs = 1);
+  /// `vc_lanes` parameterises Policy::kVcEscape (ignored otherwise): routes
+  /// whose up*/down* segment count exceeds it fall back to plain up*/down*.
+  explicit RouteTable(const Router& router, Policy policy, unsigned jobs = 1,
+                      unsigned vc_lanes = 2);
 
   Policy policy() const { return policy_; }
   std::size_t host_count() const { return hosts_; }
+  unsigned vc_lanes() const { return vc_lanes_; }
 
   const HostPath& route(std::uint16_t src, std::uint16_t dst) const;
 
@@ -100,6 +104,7 @@ class RouteTable {
  private:
   Policy policy_;
   std::size_t hosts_;
+  unsigned vc_lanes_;
   std::uint64_t epoch_ = 0;
   std::vector<HostPath> routes_;  // row-major [src * hosts_ + dst]
 
@@ -109,6 +114,15 @@ class RouteTable {
   std::vector<std::vector<char>> links_used_;
   /// Per source: switches whose ITB candidate list its rows depend on.
   std::vector<std::vector<char>> itb_switch_used_;
+  /// Per source, kVcEscape only: 1 when any stored row is an up*/down*
+  /// escape fallback. Fallback rows depend on the GLOBAL orientation (the
+  /// ladder-feasibility test runs over minimal paths the table does not
+  /// store), so the link reverse index cannot prove them stable — patch()
+  /// conservatively re-solves every fallback source on any delta. Minimal
+  /// rows stay covered by the usual (a)/(b)/(c) tests: the unrestricted
+  /// relax is orientation-blind and an orientation flip of a traversed
+  /// link always lands in the delta as removed+added.
+  std::vector<char> vc_fallback_;
 
   /// Solve-generation shortcut: each distinct (usability, orientation)
   /// graph state is interned once; a source records the state it was last
@@ -127,7 +141,7 @@ class RouteTable {
   std::vector<std::uint64_t> solved_gen_;  // per source; empty until enabled
 
   std::uint64_t intern_state(const Router& router);
-  void index_source(const topo::Topology& topo, std::uint16_t src);
+  void index_source(const Router& router, std::uint16_t src);
 
   std::size_t index(std::uint16_t src, std::uint16_t dst) const;
 };

@@ -4,8 +4,12 @@
 // checker, closing the loop between routing theory and the simulator.
 #include <gtest/gtest.h>
 
+#include "itb/engine/engine.hpp"
 #include "itb/net/network.hpp"
 #include "itb/packet/format.hpp"
+#include "itb/routing/deadlock.hpp"
+#include "itb/sim/rng.hpp"
+#include "itb/topo/builders.hpp"
 #include "itb/topo/topology.hpp"
 
 namespace {
@@ -136,6 +140,100 @@ TEST(WormholeDeadlock, ItbEjectionBreaksTheCycle) {
   for (auto& f : fwd) delivered += f->delivered;
   EXPECT_EQ(delivered, 4);
   EXPECT_EQ(net.in_flight(), 0u);
+}
+
+TEST(WormholeDeadlock, TwoLaneLadderMakesTheRingCdgAcyclic) {
+  // Static counterpart of the VC-escape claim on the exact rig that wedges
+  // above. One lane: the four 2-hop routes close the canonical cycle. Two
+  // lanes under the ladder (root s0, so s1->s2 is a down traversal and
+  // s2->s3 is up): host 1's second traversal crosses a down->up boundary
+  // and rides lane 1, which breaks the only cycle.
+  RingRig rig;
+  auto ring_channel = [](std::uint16_t s) {
+    // Link s was created s -> s+1, so clockwise traversal is `forward`.
+    return topo::Channel{static_cast<topo::LinkId>(s), true};
+  };
+  using Node = routing::DependencyGraph::Node;
+
+  routing::DependencyGraph one_lane(rig.topo);
+  for (std::uint16_t h = 0; h < 4; ++h)
+    one_lane.add_edge(Node::of_channel(ring_channel(h)),
+                      Node::of_channel(ring_channel((h + 1) % 4)));
+  EXPECT_TRUE(one_lane.has_cycle());
+
+  auto eng = engine::make_engine({engine::EngineKind::kVcEscape, 2});
+  eng->bind(routing::UpDown(rig.topo, 0), rig.topo, {});
+  routing::DependencyGraph two_lane(rig.topo, 2);
+  std::vector<std::uint8_t> second_lanes;
+  for (std::uint16_t h = 0; h < 4; ++h) {
+    net::LaneState state{eng->injection_lane(h), 0};
+    const auto c0 = ring_channel(h);
+    const auto c1 = ring_channel((h + 1) % 4);
+    const std::uint8_t l0 = eng->lane_for(state, c0);
+    const std::uint8_t l1 = eng->lane_for(state, c1);
+    two_lane.add_edge(Node::of_channel(c0, l0), Node::of_channel(c1, l1));
+    second_lanes.push_back(l1);
+  }
+  // Exactly one route (host 1's, crossing the valley under root s0) is
+  // pushed onto the escape lane.
+  EXPECT_EQ(second_lanes, (std::vector<std::uint8_t>{0, 1, 0, 0}));
+  EXPECT_FALSE(two_lane.has_cycle());
+}
+
+TEST(WormholeDeadlock, VcEscapeLanesPreventTheRingWedge) {
+  // The live counterpart: identical injection pattern to
+  // CyclicTwoHopRoutesWedgeTheRing, but with the 2-lane escape engine
+  // arbitrating — every packet must now deliver and the network drain.
+  RingRig rig;
+  auto eng = engine::make_engine({engine::EngineKind::kVcEscape, 2});
+  eng->bind(routing::UpDown(rig.topo, 0), rig.topo, {});
+  rig.net->set_lane_policy(eng.get());
+  for (std::uint16_t h = 0; h < 4; ++h) {
+    auto pkt = packet::build_packet({1, 1, 2}, packet::PacketType::kGm,
+                                    Bytes(2000, h));
+    rig.net->inject(h, std::move(pkt));
+  }
+  rig.queue.run();
+  int delivered = 0;
+  for (auto& h : rig.hosts) delivered += h->delivered;
+  EXPECT_EQ(delivered, 4);
+  EXPECT_EQ(rig.net->in_flight(), 0u);
+  EXPECT_EQ(rig.queue.pending(), 0u);
+}
+
+TEST(WormholeDeadlock, PerLaneCdgAcyclicOnGeneratedFabricsForEveryEngine) {
+  // Randomized static sweep: solve real tables over generated fat-tree,
+  // Clos and irregular fabrics and demand an acyclic per-lane CDG from
+  // every engine — the deadlock-freedom claim each one rests on.
+  std::vector<topo::Topology> fabrics;
+  fabrics.push_back(topo::make_fat_tree(4));
+  fabrics.push_back(topo::make_clos(4, 8, 8));
+  for (std::uint64_t seed : {11u, 23u, 47u}) {
+    sim::Rng rng(seed);
+    topo::IrregularSpec spec;
+    spec.switches = 12;
+    spec.hosts_per_switch = 2;
+    fabrics.push_back(topo::make_random_irregular(spec, rng));
+  }
+  const engine::EngineSpec specs[] = {
+      {engine::EngineKind::kUpDown, 1},
+      {engine::EngineKind::kItb, 1},
+      {engine::EngineKind::kVcEscape, 2},
+      {engine::EngineKind::kVcEscape, 3},
+  };
+  for (std::size_t f = 0; f < fabrics.size(); ++f) {
+    const auto& t = fabrics[f];
+    routing::UpDown ud(t, 0);
+    routing::Router router(ud);
+    for (const auto& spec : specs) {
+      auto eng = engine::make_engine(spec);
+      eng->bind(ud, t, {});
+      routing::RouteTable table(router, eng->policy(), 1, spec.lanes);
+      EXPECT_TRUE(engine::verify_deadlock_free(*eng, table, t))
+          << "fabric " << f << " engine " << eng->name() << " lanes "
+          << spec.lanes;
+    }
+  }
 }
 
 TEST(WormholeDeadlock, BackpressuredHostCanWedgeDependents) {
